@@ -1,0 +1,135 @@
+// google-benchmark microbenchmarks: throughput of the EMT codecs, the
+// faulty-memory access path and the main DSP kernels. Engineering numbers
+// (not in the paper) used to size experiment runtimes.
+
+#include <benchmark/benchmark.h>
+
+#include "ulpdream/core/dream.hpp"
+#include "ulpdream/core/ecc_secded.hpp"
+#include "ulpdream/core/no_protection.hpp"
+#include "ulpdream/core/protected_buffer.hpp"
+#include "ulpdream/cs/omp.hpp"
+#include "ulpdream/cs/sensing_matrix.hpp"
+#include "ulpdream/ecg/database.hpp"
+#include "ulpdream/mem/fault_map.hpp"
+#include "ulpdream/signal/morphology.hpp"
+#include "ulpdream/signal/wavelet.hpp"
+#include "ulpdream/util/rng.hpp"
+
+using namespace ulpdream;
+
+namespace {
+
+void BM_DreamEncode(benchmark::State& state) {
+  const core::Dream dream;
+  fixed::Sample s = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dream.encode_safe(s));
+    s = static_cast<fixed::Sample>(s + 7);
+  }
+}
+BENCHMARK(BM_DreamEncode);
+
+void BM_DreamDecode(benchmark::State& state) {
+  const core::Dream dream;
+  fixed::Sample s = 0;
+  for (auto _ : state) {
+    const std::uint16_t safe = dream.encode_safe(s);
+    benchmark::DoNotOptimize(dream.decode(dream.encode_payload(s) ^ 0x8000u,
+                                          safe));
+    s = static_cast<fixed::Sample>(s + 7);
+  }
+}
+BENCHMARK(BM_DreamDecode);
+
+void BM_EccEncode(benchmark::State& state) {
+  const core::EccSecDed ecc;
+  fixed::Sample s = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ecc.encode_payload(s));
+    s = static_cast<fixed::Sample>(s + 7);
+  }
+}
+BENCHMARK(BM_EccEncode);
+
+void BM_EccDecodeWithError(benchmark::State& state) {
+  const core::EccSecDed ecc;
+  fixed::Sample s = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ecc.decode(ecc.encode_payload(s) ^ 0x10u, 0));
+    s = static_cast<fixed::Sample>(s + 7);
+  }
+}
+BENCHMARK(BM_EccDecodeWithError);
+
+void BM_ProtectedBufferAccess(benchmark::State& state) {
+  const core::Dream dream;
+  core::MemorySystem system(dream, 4096);
+  util::Xoshiro256 rng(1);
+  const mem::FaultMap map =
+      mem::FaultMap::random(4096, 16, 1e-3, rng);
+  system.attach_faults(&map);
+  auto buf = core::ProtectedBuffer::allocate(system, 4096);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    buf.set(i, static_cast<fixed::Sample>(i));
+    benchmark::DoNotOptimize(buf.get(i));
+    i = (i + 1) % 4096;
+  }
+}
+BENCHMARK(BM_ProtectedBufferAccess);
+
+void BM_FaultMapGeneration(benchmark::State& state) {
+  util::Xoshiro256 rng(2);
+  const double ber = 1e-3;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        mem::FaultMap::random(mem::MemoryGeometry::kWords16, 22, ber, rng));
+  }
+}
+BENCHMARK(BM_FaultMapGeneration);
+
+void BM_DwtMulti2048(benchmark::State& state) {
+  const ecg::Record rec = ecg::make_default_record(1);
+  signal::VecBuffer in(fixed::SampleVec(rec.samples.begin(),
+                                        rec.samples.begin() + 2048));
+  signal::VecBuffer out(2048);
+  signal::VecBuffer scratch(2048);
+  const signal::FixedBank bank =
+      signal::fixed_bank(signal::WaveletFamily::kDb4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        signal::dwt_multi(in, 2048, bank, 4, out, scratch));
+  }
+}
+BENCHMARK(BM_DwtMulti2048);
+
+void BM_MorphologyOpen2048(benchmark::State& state) {
+  const ecg::Record rec = ecg::make_default_record(1);
+  signal::VecBuffer in(fixed::SampleVec(rec.samples.begin(),
+                                        rec.samples.begin() + 2048));
+  signal::VecBuffer tmp(2048);
+  signal::VecBuffer out(2048);
+  for (auto _ : state) {
+    signal::open(in, tmp, out, 13, 2048);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_MorphologyOpen2048);
+
+void BM_OmpReconstruct(benchmark::State& state) {
+  const linalg::Matrix a = cs::bernoulli_matrix(128, 256, 5);
+  util::Xoshiro256 rng(3);
+  std::vector<double> y(128);
+  for (auto& v : y) v = rng.gaussian();
+  cs::OmpConfig cfg;
+  cfg.max_atoms = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cs::omp_solve(a, y, cfg));
+  }
+}
+BENCHMARK(BM_OmpReconstruct)->Arg(16)->Arg(32)->Arg(64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

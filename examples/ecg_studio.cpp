@@ -1,0 +1,92 @@
+// ECG studio: inspect the synthetic database that substitutes MIT-BIH —
+// per-pathology rhythm statistics, the sample-value properties DREAM
+// exploits (negativity, sign-run lengths), and an ASCII strip preview.
+//
+// Usage: ecg_studio [--seed 42] [--plot-rows 12]
+
+#include <algorithm>
+#include <iostream>
+
+#include "ulpdream/ecg/database.hpp"
+#include "ulpdream/fixed/sample.hpp"
+#include "ulpdream/util/cli.hpp"
+#include "ulpdream/util/stats.hpp"
+#include "ulpdream/util/table.hpp"
+
+using namespace ulpdream;
+
+namespace {
+
+void ascii_plot(const ecg::Record& rec, std::size_t rows,
+                std::size_t samples) {
+  const std::size_t n = std::min(samples, rec.samples.size());
+  const std::size_t cols = 100;
+  fixed::Sample lo = fixed::kSampleMax;
+  fixed::Sample hi = fixed::kSampleMin;
+  for (std::size_t i = 0; i < n; ++i) {
+    lo = std::min(lo, rec.samples[i]);
+    hi = std::max(hi, rec.samples[i]);
+  }
+  const double span = std::max(1, hi - lo);
+  std::vector<std::string> grid(rows, std::string(cols, ' '));
+  for (std::size_t c = 0; c < cols; ++c) {
+    const std::size_t i = c * n / cols;
+    const double frac = (rec.samples[i] - lo) / span;
+    const auto r = static_cast<std::size_t>(
+        (1.0 - frac) * static_cast<double>(rows - 1));
+    grid[r][c] = '*';
+  }
+  for (const auto& line : grid) std::cout << "  |" << line << "|\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  ecg::DatabaseConfig cfg;
+  cfg.seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
+  cfg.records_per_pathology = 1;
+  const auto rows = static_cast<std::size_t>(cli.get_int("plot-rows", 10));
+
+  const std::vector<ecg::Record> db = ecg::make_database(cfg);
+
+  util::Table table("Synthetic ECG database (MIT-BIH substitute)");
+  table.set_header({"record", "beats", "mean_HR_bpm", "negative_%",
+                    "mean_sign_run", "P_waves"});
+  for (const auto& rec : db) {
+    const double duration_s =
+        static_cast<double>(rec.samples.size()) / rec.fs_hz;
+    const double hr =
+        static_cast<double>(rec.r_locations.size()) / duration_s * 60.0;
+    std::size_t negative = 0;
+    util::RunningStats runs;
+    for (const auto s : rec.samples) {
+      if (s < 0) ++negative;
+      runs.add(fixed::sign_run_length(s));
+    }
+    std::size_t p_waves = 0;
+    for (const auto& f : rec.truth) {
+      if (f.type == metrics::FiducialType::kP) ++p_waves;
+    }
+    table.add_row(
+        {rec.name, std::to_string(rec.r_locations.size()), util::fmt(hr, 0),
+         util::fmt(100.0 * static_cast<double>(negative) /
+                       static_cast<double>(rec.samples.size()),
+                   1),
+         util::fmt(runs.mean(), 1), std::to_string(p_waves)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nThe two properties DREAM exploits are visible above:\n"
+               "  - most samples are negative (stuck-at-1 MSB faults often"
+               " hidden, paper Sec. III);\n"
+               "  - long constant-MSB runs (mean sign-run >> 1) give DREAM"
+               " a wide protected region (Sec. IV).\n\n";
+
+  for (const auto& rec : db) {
+    std::cout << rec.name << " (first 3 s):\n";
+    ascii_plot(rec, rows, static_cast<std::size_t>(3.0 * rec.fs_hz));
+    std::cout << '\n';
+  }
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Quickstart: protect a biosignal buffer with DREAM in ~40 lines.
+//
+// Generates a synthetic ECG, stores it in a voltage-scaled (faulty) data
+// memory at 0.60 V with and without DREAM, and prints the resulting signal
+// quality. Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+
+#include <iostream>
+
+#include "ulpdream/core/factory.hpp"
+#include "ulpdream/core/protected_buffer.hpp"
+#include "ulpdream/ecg/database.hpp"
+#include "ulpdream/mem/ber_model.hpp"
+#include "ulpdream/metrics/quality.hpp"
+#include "ulpdream/util/rng.hpp"
+
+using namespace ulpdream;
+
+int main() {
+  // 1. A signal to protect: one synthetic ECG record (MIT-BIH substitute).
+  const ecg::Record record = ecg::make_default_record();
+
+  // 2. A fault environment: the BER of a 32 nm low-power SRAM at 0.60 V.
+  const double voltage = 0.60;
+  const auto ber_model = mem::make_ber_model(mem::BerModelKind::kLogLinear);
+  util::Xoshiro256 rng(1);
+  const mem::FaultMap faults = mem::FaultMap::random(
+      mem::MemoryGeometry::kWords16, 22, ber_model->ber(voltage), rng);
+  std::cout << "BER(" << voltage << " V) = " << ber_model->ber(voltage)
+            << " -> " << faults.fault_count() << " stuck cells in 32 kB\n\n";
+
+  // 3. Store and read back the record through each EMT.
+  const std::vector<double> original(record.samples.begin(),
+                                     record.samples.begin() + 2048);
+  for (const core::EmtKind kind : core::all_emt_kinds()) {
+    const auto emt = core::make_emt(kind);
+    core::MemorySystem system(*emt);
+    system.attach_faults(&faults);
+    auto buffer = core::ProtectedBuffer::allocate(system, 2048);
+    for (std::size_t i = 0; i < 2048; ++i) {
+      buffer.set(i, record.samples[i]);
+    }
+    std::vector<double> readback(2048);
+    for (std::size_t i = 0; i < 2048; ++i) {
+      readback[i] = static_cast<double>(buffer.get(i));
+    }
+    std::cout << emt->name() << ": SNR = "
+              << metrics::snr_db(original, readback) << " dB"
+              << "  (extra bits/word: " << emt->extra_bits()
+              << ", words corrected: " << system.counters().corrected_words
+              << ")\n";
+  }
+  std::cout << "\nDREAM recovers the sign-extension MSBs where errors hurt"
+               " most — at a lower bit overhead than ECC SEC/DED.\n";
+  return 0;
+}

@@ -1,0 +1,65 @@
+#include "ulpdream/apps/app.hpp"
+
+#include <stdexcept>
+
+#include "ulpdream/apps/classifier_app.hpp"
+#include "ulpdream/apps/cs_app.hpp"
+#include "ulpdream/apps/delineation_app.hpp"
+#include "ulpdream/apps/dwt_app.hpp"
+#include "ulpdream/apps/matrix_filter_app.hpp"
+#include "ulpdream/apps/morph_filter_app.hpp"
+
+namespace ulpdream::apps {
+
+const char* app_kind_name(AppKind kind) {
+  switch (kind) {
+    case AppKind::kDwt:
+      return "dwt";
+    case AppKind::kMatrixFilter:
+      return "matrix_filter";
+    case AppKind::kCompressedSensing:
+      return "cs";
+    case AppKind::kMorphFilter:
+      return "morph_filter";
+    case AppKind::kDelineation:
+      return "delineation";
+    case AppKind::kHeartbeatClassifier:
+      return "heartbeat_classifier";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<BioApp> make_app(AppKind kind) {
+  switch (kind) {
+    case AppKind::kDwt:
+      return std::make_unique<DwtApp>();
+    case AppKind::kMatrixFilter:
+      return std::make_unique<MatrixFilterApp>();
+    case AppKind::kCompressedSensing:
+      return std::make_unique<CsApp>();
+    case AppKind::kMorphFilter:
+      return std::make_unique<MorphFilterApp>();
+    case AppKind::kDelineation:
+      return std::make_unique<DelineationApp>();
+    case AppKind::kHeartbeatClassifier:
+      return std::make_unique<ClassifierApp>();
+  }
+  throw std::invalid_argument("make_app: unknown kind");
+}
+
+const std::vector<AppKind>& all_app_kinds() {
+  static const std::vector<AppKind> kinds = {
+      AppKind::kDwt, AppKind::kMatrixFilter, AppKind::kCompressedSensing,
+      AppKind::kMorphFilter, AppKind::kDelineation};
+  return kinds;
+}
+
+const std::vector<AppKind>& extended_app_kinds() {
+  static const std::vector<AppKind> kinds = {
+      AppKind::kDwt,         AppKind::kMatrixFilter,
+      AppKind::kCompressedSensing, AppKind::kMorphFilter,
+      AppKind::kDelineation, AppKind::kHeartbeatClassifier};
+  return kinds;
+}
+
+}  // namespace ulpdream::apps

@@ -1,0 +1,146 @@
+#include "ulpdream/apps/classifier_app.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ulpdream::apps {
+
+ClassifierApp::ClassifierApp(ClassifierConfig cfg)
+    : cfg_(cfg), delineator_(cfg.delineation) {}
+
+std::vector<ClassifiedBeat> ClassifierApp::classify(
+    core::MemorySystem& system, const ecg::Record& record) const {
+  // Stage 1: delineation (allocates its own buffers in `system`).
+  const metrics::FiducialList fiducials =
+      delineator_.delineate(system, record);
+
+  // Collect per-beat fiducials keyed by R position.
+  struct Beat {
+    std::int32_t r = 0;
+    fixed::Sample r_amp = 0;
+    std::int32_t q = -1;
+    std::int32_t s = -1;
+    bool has_p = false;
+    fixed::Sample t_amp = 0;
+  };
+  std::vector<Beat> beats;
+  for (const auto& f : fiducials) {
+    if (f.type == metrics::FiducialType::kR) {
+      Beat b;
+      b.r = f.position;
+      b.r_amp = f.amplitude;
+      beats.push_back(b);
+    }
+  }
+  const auto nearest_beat = [&](std::int32_t pos) -> Beat* {
+    Beat* best = nullptr;
+    std::int32_t best_d = 1 << 30;
+    for (auto& b : beats) {
+      const std::int32_t d = std::abs(b.r - pos);
+      if (d < best_d) {
+        best_d = d;
+        best = &b;
+      }
+    }
+    return best;
+  };
+  for (const auto& f : fiducials) {
+    Beat* beat = nearest_beat(f.position);
+    if (beat == nullptr) continue;
+    switch (f.type) {
+      case metrics::FiducialType::kQ:
+        beat->q = f.position;
+        break;
+      case metrics::FiducialType::kS:
+        beat->s = f.position;
+        break;
+      case metrics::FiducialType::kP:
+        beat->has_p = true;
+        break;
+      case metrics::FiducialType::kT:
+        beat->t_amp = f.amplitude;
+        break;
+      case metrics::FiducialType::kR:
+        break;
+    }
+  }
+
+  // Stage 2+3: features and rule-based decision (the decision structure
+  // of early WBSN classifiers: RR prematurity as the trigger, QRS
+  // morphology — width / amplitude / S depth — as the confirmation).
+  fixed::Sample max_r = 1;
+  for (const auto& b : beats) max_r = std::max(max_r, b.r_amp);
+  // Median R amplitude and median S depth as per-record baselines.
+  const auto median_of = [](std::vector<double> v) {
+    if (v.empty()) return 0.0;
+    std::nth_element(v.begin(), v.begin() + static_cast<long>(v.size() / 2),
+                     v.end());
+    return v[v.size() / 2];
+  };
+  std::vector<double> r_amps;
+  std::vector<double> qrs_swings;
+  for (const auto& b : beats) {
+    r_amps.push_back(static_cast<double>(b.r_amp));
+    if (b.s >= 0) {
+      qrs_swings.push_back(static_cast<double>(b.r_amp) -
+                           static_cast<double>(b.t_amp));
+    }
+  }
+  const double median_r = median_of(r_amps);
+  const double fs = cfg_.delineation.fs_hz;
+
+  std::vector<ClassifiedBeat> out;
+  double rr_avg = 0.0;
+  std::size_t rr_count = 0;
+  for (std::size_t i = 0; i < beats.size(); ++i) {
+    const Beat& b = beats[i];
+    ClassifiedBeat cb;
+    cb.r_position = b.r;
+
+    const bool confident =
+        static_cast<double>(b.r_amp) >=
+        cfg_.min_r_frac * static_cast<double>(max_r);
+    const double qrs_w =
+        (b.q >= 0 && b.s >= 0) ? static_cast<double>(b.s - b.q) / fs : 0.0;
+    const bool wide = qrs_w > cfg_.wide_qrs_s;
+    const bool tall =
+        median_r > 0.0 && static_cast<double>(b.r_amp) > 1.15 * median_r;
+    bool premature = false;
+    if (i > 0) {
+      const double rr =
+          static_cast<double>(b.r - beats[i - 1].r) / fs;
+      if (rr_count > 0 && rr < cfg_.premature_rr_frac * rr_avg) {
+        premature = true;
+      }
+      rr_avg = (rr_avg * static_cast<double>(rr_count) + rr) /
+               static_cast<double>(rr_count + 1);
+      ++rr_count;
+    }
+
+    if (!confident) {
+      cb.label = BeatClass::kUnknown;
+    } else if (premature && (wide || tall)) {
+      cb.label = BeatClass::kPvc;
+    } else {
+      cb.label = BeatClass::kNormal;
+    }
+    out.push_back(cb);
+  }
+  return out;
+}
+
+std::vector<double> ClassifierApp::run(core::MemorySystem& system,
+                                       const ecg::Record& record) const {
+  const std::vector<ClassifiedBeat> beats = classify(system, record);
+  // Statistical output: class counts followed by per-beat labels.
+  std::vector<double> out(3 + cfg_.output_slots, 0.0);
+  for (const auto& b : beats) {
+    out[static_cast<std::size_t>(b.label)] += 1.0;
+  }
+  for (std::size_t i = 0; i < beats.size() && i < cfg_.output_slots; ++i) {
+    out[3 + i] = static_cast<double>(beats[i].label);
+  }
+  return out;
+}
+
+}  // namespace ulpdream::apps

@@ -1,0 +1,85 @@
+#include "ulpdream/apps/cs_app.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace ulpdream::apps {
+
+CsApp::CsApp(CsAppConfig cfg)
+    : cfg_(cfg),
+      reconstructor_(cfg.cs),
+      shift_(std::countr_zero(
+          static_cast<unsigned>(cfg.cs.ones_per_column))) {
+  const cs::SparsePhi& phi = reconstructor_.phi();
+  row_cols_.resize(phi.m);
+  for (std::size_t c = 0; c < phi.n; ++c) {
+    for (int k = 0; k < phi.d; ++k) {
+      const std::uint32_t r =
+          phi.rows[c * static_cast<std::size_t>(phi.d) +
+                   static_cast<std::size_t>(k)];
+      row_cols_[r].push_back(static_cast<std::uint32_t>(c));
+    }
+  }
+}
+
+std::vector<double> CsApp::run(core::MemorySystem& system,
+                               const ecg::Record& record) const {
+  const std::size_t n = cfg_.cs.block_n;
+  const std::size_t m = cfg_.cs.block_m;
+  if (record.samples.size() < input_length()) {
+    throw std::invalid_argument("CsApp: record shorter than window");
+  }
+
+  system.reset_allocator();
+  auto input = core::ProtectedBuffer::allocate(system, input_length());
+  auto meas = core::ProtectedBuffer::allocate(system, cfg_.blocks * m);
+
+  for (std::size_t i = 0; i < input_length(); ++i) {
+    input.set(i, record.samples[i]);
+  }
+
+  std::vector<double> out;
+  out.reserve(input_length());
+
+  for (std::size_t b = 0; b < cfg_.blocks; ++b) {
+    // y_r = (sum of the selected x_c) / d, accumulated in a register and
+    // stored once into the faulty measurement buffer. Input reads still
+    // traverse the faulty memory, as does the stored y itself.
+    for (std::size_t r = 0; r < m; ++r) {
+      std::int64_t acc = 0;
+      for (const std::uint32_t c : row_cols_[r]) {
+        acc += input.get(b * n + c);
+      }
+      meas.set(b * m + r, fixed::saturate_sample(
+                              fixed::rounded_shift_right(acc, shift_)));
+    }
+    // Base-station reconstruction from the (possibly corrupted) stored y.
+    std::vector<double> y(m);
+    for (std::size_t r = 0; r < m; ++r) {
+      y[r] = static_cast<double>(meas.get(b * m + r));
+    }
+    const std::vector<double> xhat = reconstructor_.reconstruct(y);
+    out.insert(out.end(), xhat.begin(), xhat.end());
+  }
+  return out;
+}
+
+std::optional<std::vector<double>> CsApp::ideal_output(
+    const ecg::Record& record) const {
+  const std::size_t n = cfg_.cs.block_n;
+  const linalg::Matrix phi = reconstructor_.phi().to_dense();
+  std::vector<double> out;
+  out.reserve(input_length());
+  for (std::size_t b = 0; b < cfg_.blocks; ++b) {
+    std::vector<double> x(n);
+    for (std::size_t c = 0; c < n; ++c) {
+      x[c] = static_cast<double>(record.samples[b * n + c]);
+    }
+    const std::vector<double> y = phi.multiply(x);
+    const std::vector<double> xhat = reconstructor_.reconstruct(y);
+    out.insert(out.end(), xhat.begin(), xhat.end());
+  }
+  return out;
+}
+
+}  // namespace ulpdream::apps

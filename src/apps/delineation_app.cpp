@@ -1,0 +1,125 @@
+#include "ulpdream/apps/delineation_app.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace ulpdream::apps {
+
+namespace {
+
+/// Index of the extremum (max if `maximum`, else min) of buf in [lo, hi).
+template <typename Buf>
+std::size_t extremum_index(const Buf& buf, std::size_t lo, std::size_t hi,
+                           bool maximum) {
+  std::size_t best = lo;
+  fixed::Sample best_v = buf.get(lo);
+  for (std::size_t i = lo + 1; i < hi; ++i) {
+    const fixed::Sample v = buf.get(i);
+    if ((maximum && v > best_v) || (!maximum && v < best_v)) {
+      best_v = v;
+      best = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+metrics::FiducialList DelineationApp::delineate(
+    core::MemorySystem& system, const ecg::Record& record) const {
+  if (record.samples.size() < cfg_.n) {
+    throw std::invalid_argument("DelineationApp: record shorter than window");
+  }
+  const std::size_t n = cfg_.n;
+  system.reset_allocator();
+  auto input = core::ProtectedBuffer::allocate(system, n);
+  auto detail = core::ProtectedBuffer::allocate(system, n);
+  auto detail_wide = core::ProtectedBuffer::allocate(system, n);
+
+  for (std::size_t i = 0; i < n; ++i) input.set(i, record.samples[i]);
+
+  const signal::FixedBank bank = signal::fixed_bank(cfg_.family);
+  signal::swt_detail(input, n, bank, cfg_.qrs_scale, detail);
+  signal::swt_detail(input, n, bank, cfg_.wide_scale, detail_wide);
+
+  // Detection envelope: per-sample max of the two scale magnitudes.
+  const auto envelope = [&](std::size_t idx) {
+    return std::max(std::abs(static_cast<std::int32_t>(detail.get(idx))),
+                    std::abs(static_cast<std::int32_t>(
+                        detail_wide.get(idx))));
+  };
+
+  // Global detection threshold from the envelope.
+  std::int32_t max_abs = 1;
+  for (std::size_t i = 0; i < n; ++i) {
+    max_abs = std::max(max_abs, envelope(i));
+  }
+  const auto threshold = static_cast<std::int32_t>(
+      cfg_.threshold_frac * static_cast<double>(max_abs));
+  const auto refractory =
+      static_cast<std::size_t>(cfg_.refractory_s * cfg_.fs_hz);
+
+  // R peaks: modulus maxima of the envelope above threshold, refractory-
+  // gated; the R position is refined to the max of the raw signal nearby.
+  std::vector<std::size_t> r_peaks;
+  std::size_t i = 1;
+  while (i + 1 < n) {
+    const auto v = envelope(i);
+    if (v >= threshold && v >= envelope(i - 1) && v >= envelope(i + 1)) {
+      const std::size_t lo = i > 10 ? i - 10 : 0;
+      const std::size_t hi = std::min(n, i + 11);
+      const std::size_t r = extremum_index(input, lo, hi, /*maximum=*/true);
+      if (r_peaks.empty() || r - r_peaks.back() > refractory) {
+        r_peaks.push_back(r);
+        i += refractory;  // blank out only after an accepted beat
+      } else {
+        ++i;
+      }
+    } else {
+      ++i;
+    }
+  }
+
+  // Q, S, P, T around each R at physiologic offsets (in samples @ fs).
+  const auto w_qs = static_cast<std::size_t>(0.08 * cfg_.fs_hz);
+  const auto p_lo_off = static_cast<std::size_t>(0.30 * cfg_.fs_hz);
+  const auto p_hi_off = static_cast<std::size_t>(0.10 * cfg_.fs_hz);
+  const auto t_lo_off = static_cast<std::size_t>(0.12 * cfg_.fs_hz);
+  const auto t_hi_off = static_cast<std::size_t>(0.45 * cfg_.fs_hz);
+
+  metrics::FiducialList out;
+  for (const std::size_t r : r_peaks) {
+    const auto push = [&](metrics::FiducialType type, std::size_t pos) {
+      out.push_back({type, static_cast<std::int32_t>(pos), input.get(pos)});
+    };
+    push(metrics::FiducialType::kR, r);
+    if (r >= w_qs) {
+      push(metrics::FiducialType::kQ,
+           extremum_index(input, r - w_qs, r, /*maximum=*/false));
+    }
+    if (r + 1 + w_qs <= n) {
+      push(metrics::FiducialType::kS,
+           extremum_index(input, r + 1, r + 1 + w_qs, /*maximum=*/false));
+    }
+    if (r >= p_lo_off) {
+      push(metrics::FiducialType::kP,
+           extremum_index(input, r - p_lo_off, r - p_hi_off,
+                          /*maximum=*/true));
+    }
+    if (r + t_hi_off <= n) {
+      push(metrics::FiducialType::kT,
+           extremum_index(input, r + t_lo_off, r + t_hi_off,
+                          /*maximum=*/true));
+    }
+  }
+  return out;
+}
+
+std::vector<double> DelineationApp::run(core::MemorySystem& system,
+                                        const ecg::Record& record) const {
+  const metrics::FiducialList fiducials = delineate(system, record);
+  return metrics::flatten_fiducials(fiducials, cfg_.output_slots);
+}
+
+}  // namespace ulpdream::apps

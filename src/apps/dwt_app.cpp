@@ -1,0 +1,39 @@
+#include "ulpdream/apps/dwt_app.hpp"
+
+#include <stdexcept>
+
+namespace ulpdream::apps {
+
+std::vector<double> DwtApp::run(core::MemorySystem& system,
+                                const ecg::Record& record) const {
+  if (record.samples.size() < cfg_.n) {
+    throw std::invalid_argument("DwtApp: record shorter than window");
+  }
+  system.reset_allocator();
+  auto input = core::ProtectedBuffer::allocate(system, cfg_.n);
+  auto coeffs = core::ProtectedBuffer::allocate(system, cfg_.n);
+  auto scratch = core::ProtectedBuffer::allocate(system, cfg_.n);
+
+  for (std::size_t i = 0; i < cfg_.n; ++i) input.set(i, record.samples[i]);
+
+  const signal::FixedBank bank = signal::fixed_bank(cfg_.family);
+  signal::dwt_multi(input, cfg_.n, bank, cfg_.levels, coeffs, scratch);
+
+  std::vector<double> out;
+  out.reserve(cfg_.n);
+  for (std::size_t i = 0; i < cfg_.n; ++i) {
+    out.push_back(static_cast<double>(coeffs.get(i)));
+  }
+  return out;
+}
+
+std::optional<std::vector<double>> DwtApp::ideal_output(
+    const ecg::Record& record) const {
+  std::vector<double> x(cfg_.n);
+  for (std::size_t i = 0; i < cfg_.n; ++i) {
+    x[i] = static_cast<double>(record.samples[i]);
+  }
+  return signal::dwt_multi_f64(x, cfg_.family, cfg_.levels);
+}
+
+}  // namespace ulpdream::apps

@@ -1,0 +1,74 @@
+#pragma once
+// The application abstraction the experiments iterate over: the paper's
+// five ECG case studies (Sec. II). Each app runs entirely against a
+// MemorySystem — input, intermediate and output buffers are allocated in
+// the (possibly faulty) data memory, so every sample the algorithm touches
+// traverses the EMT codec and fault-injection path, exactly as in the
+// paper's instrumented VirtualSOC platform.
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ulpdream/core/protected_buffer.hpp"
+#include "ulpdream/ecg/generator.hpp"
+
+namespace ulpdream::apps {
+
+enum class AppKind : std::uint8_t {
+  kDwt = 0,
+  kMatrixFilter,
+  kCompressedSensing,
+  kMorphFilter,
+  kDelineation,
+  /// Extension beyond the paper's five case studies: the Heartbeat
+  /// Classifier its Sec. III discusses (delineation + rule-based early
+  /// classification, statistical output).
+  kHeartbeatClassifier,
+};
+
+[[nodiscard]] const char* app_kind_name(AppKind kind);
+
+class BioApp {
+ public:
+  virtual ~BioApp() = default;
+
+  [[nodiscard]] virtual AppKind kind() const = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Number of input samples consumed from the record.
+  [[nodiscard]] virtual std::size_t input_length() const = 0;
+
+  /// Words of data memory the app allocates (input + intermediates +
+  /// output); must fit the 32 kB device memory.
+  [[nodiscard]] virtual std::size_t footprint_words() const = 0;
+
+  /// Executes the application. The system's allocator is reset first so
+  /// repeated runs reuse the same addresses (and hence the same fault
+  /// cells — required for the paper's same-map EMT comparisons).
+  /// Returns the numeric output vector the SNR metric is computed on.
+  [[nodiscard]] virtual std::vector<double> run(
+      core::MemorySystem& system, const ecg::Record& record) const = 0;
+
+  /// Double-precision golden model of the application — the x_theo of
+  /// Formula 1. Computing the reference at full precision is what gives
+  /// each application a *finite* maximum SNR under 16-bit fixed point
+  /// (Fig. 4's dashed lines), and for CS it exposes the lossy-compression
+  /// ceiling the paper highlights. Returns nullopt when no float model
+  /// exists (delineation); the experiment runner then uses the error-free
+  /// fixed-point run as the reference.
+  [[nodiscard]] virtual std::optional<std::vector<double>> ideal_output(
+      const ecg::Record& record) const {
+    (void)record;
+    return std::nullopt;
+  }
+};
+
+[[nodiscard]] std::unique_ptr<BioApp> make_app(AppKind kind);
+/// The paper's five case studies (Fig. 2 / Fig. 4 iterate over these).
+[[nodiscard]] const std::vector<AppKind>& all_app_kinds();
+/// The paper's five plus this library's extensions.
+[[nodiscard]] const std::vector<AppKind>& extended_app_kinds();
+
+}  // namespace ulpdream::apps

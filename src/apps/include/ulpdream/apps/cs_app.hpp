@@ -1,0 +1,62 @@
+#pragma once
+// Compressed Sensing application (paper Sec. II-3): 50% lossy compression
+// of ECG blocks with a sparse binary sensing matrix, executed in fixed
+// point on the node with both the input window and the measurement vector
+// held in the faulty data memory. Reconstruction (OMP in a wavelet basis)
+// happens on the error-free base station in floating point.
+//
+// Quality semantics follow the paper: the SNR reference is the *original*
+// signal, so even a fault-free execution has a finite ceiling (the lossy-
+// compression SNR — Fig. 4's dashed CS line), and the 35 dB multi-lead
+// reconstruction-quality requirement from the paper's Sec. III can be
+// checked against the same scale.
+
+#include "ulpdream/apps/app.hpp"
+#include "ulpdream/cs/reconstruct.hpp"
+
+namespace ulpdream::apps {
+
+struct CsAppConfig {
+  std::size_t blocks = 2;  ///< consecutive blocks of block_n input samples
+  cs::CsConfig cs{};
+};
+
+class CsApp final : public BioApp {
+ public:
+  explicit CsApp(CsAppConfig cfg = {});
+
+  [[nodiscard]] AppKind kind() const override {
+    return AppKind::kCompressedSensing;
+  }
+  [[nodiscard]] std::string name() const override { return "cs"; }
+  [[nodiscard]] std::size_t input_length() const override {
+    return cfg_.blocks * cfg_.cs.block_n;
+  }
+  [[nodiscard]] std::size_t footprint_words() const override {
+    return input_length() + cfg_.blocks * cfg_.cs.block_m;
+  }
+
+  [[nodiscard]] std::vector<double> run(
+      core::MemorySystem& system, const ecg::Record& record) const override;
+
+  /// Ideal output: the double-precision pipeline — y = Phi x computed in
+  /// floating point, then OMP reconstruction. Differences from run() are
+  /// then exactly (a) fixed-point compression arithmetic and (b) memory
+  /// faults. The lossy ceiling vs the *original* signal is reported
+  /// separately by the Fig. 4 bench (dashed line).
+  [[nodiscard]] std::optional<std::vector<double>> ideal_output(
+      const ecg::Record& record) const override;
+
+ private:
+  CsAppConfig cfg_;
+  cs::CsReconstructor reconstructor_;
+  int shift_;  ///< log2(ones_per_column): integer divide in the compressor
+  /// Row-major view of Phi: for each measurement row, the input columns it
+  /// sums. Lets the compressor accumulate each y_r in a CPU register and
+  /// store it exactly once — the realistic embedded implementation (an
+  /// in-memory read-modify-write accumulator would re-corrupt itself on
+  /// every partial sum).
+  std::vector<std::vector<std::uint32_t>> row_cols_;
+};
+
+}  // namespace ulpdream::apps

@@ -1,0 +1,39 @@
+#pragma once
+// Discrete Wavelet Transform application (paper Sec. II-1): several scales
+// of low-/high-pass filtering over an ECG vector, as used for multi-lead
+// analysis in commercial WBSNs. Output: the full coefficient vector
+// [approx_L | detail_L | ... | detail_1].
+
+#include "ulpdream/apps/app.hpp"
+#include "ulpdream/signal/wavelet.hpp"
+
+namespace ulpdream::apps {
+
+struct DwtAppConfig {
+  std::size_t n = 2048;
+  std::size_t levels = 4;
+  signal::WaveletFamily family = signal::WaveletFamily::kDb4;
+};
+
+class DwtApp final : public BioApp {
+ public:
+  explicit DwtApp(DwtAppConfig cfg = {}) : cfg_(cfg) {}
+
+  [[nodiscard]] AppKind kind() const override { return AppKind::kDwt; }
+  [[nodiscard]] std::string name() const override { return "dwt"; }
+  [[nodiscard]] std::size_t input_length() const override { return cfg_.n; }
+  [[nodiscard]] std::size_t footprint_words() const override {
+    return 3 * cfg_.n;  // input + coefficients + scratch
+  }
+
+  [[nodiscard]] std::vector<double> run(
+      core::MemorySystem& system, const ecg::Record& record) const override;
+
+  [[nodiscard]] std::optional<std::vector<double>> ideal_output(
+      const ecg::Record& record) const override;
+
+ private:
+  DwtAppConfig cfg_;
+};
+
+}  // namespace ulpdream::apps

@@ -1,0 +1,39 @@
+#pragma once
+// Morphological Filtering application (paper Sec. II-4): cleans raw ECG via
+// erosion/dilation sequences. We implement the standard two-stage baseline
+// estimator — opening (removes peaks) followed by closing (fills pits)
+// with structuring elements sized to the QRS and T durations — and output
+// the baseline-corrected signal x - close(open(x)).
+
+#include "ulpdream/apps/app.hpp"
+
+namespace ulpdream::apps {
+
+struct MorphFilterConfig {
+  std::size_t n = 2048;
+  std::size_t se1_half = 13;  ///< opening SE half-width (~0.1 s at 250 Hz)
+  std::size_t se2_half = 19;  ///< closing SE half-width (~0.15 s)
+};
+
+class MorphFilterApp final : public BioApp {
+ public:
+  explicit MorphFilterApp(MorphFilterConfig cfg = {}) : cfg_(cfg) {}
+
+  [[nodiscard]] AppKind kind() const override { return AppKind::kMorphFilter; }
+  [[nodiscard]] std::string name() const override { return "morph_filter"; }
+  [[nodiscard]] std::size_t input_length() const override { return cfg_.n; }
+  [[nodiscard]] std::size_t footprint_words() const override {
+    return 4 * cfg_.n;  // input, tmp, baseline, output
+  }
+
+  [[nodiscard]] std::vector<double> run(
+      core::MemorySystem& system, const ecg::Record& record) const override;
+
+  [[nodiscard]] std::optional<std::vector<double>> ideal_output(
+      const ecg::Record& record) const override;
+
+ private:
+  MorphFilterConfig cfg_;
+};
+
+}  // namespace ulpdream::apps

@@ -1,0 +1,114 @@
+#include "ulpdream/apps/matrix_filter_app.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ulpdream::apps {
+
+MatrixFilterApp::MatrixFilterApp(MatrixFilterConfig cfg) : cfg_(cfg) {
+  if (cfg_.k == 0 || cfg_.n % cfg_.k != 0) {
+    throw std::invalid_argument("MatrixFilterApp: n must be a multiple of k");
+  }
+  // A = (1+alpha) I - alpha G with G a row-normalized Gaussian smoother
+  // (banded Toeplitz), quantized to Q1.15. Row sums stay 1 (DC gain 1)
+  // but row energy > 1: the enhancement boosts high-frequency content —
+  // and amplifies any injected error on every iteration.
+  a_q15_.assign(cfg_.k * cfg_.k, 0);
+  for (std::size_t r = 0; r < cfg_.k; ++r) {
+    std::vector<double> gauss(cfg_.k, 0.0);
+    double sum = 0.0;
+    for (std::size_t c = 0; c < cfg_.k; ++c) {
+      const double d = (static_cast<double>(c) - static_cast<double>(r)) /
+                       cfg_.smoothing_radius;
+      gauss[c] = std::exp(-0.5 * d * d);
+      sum += gauss[c];
+    }
+    for (std::size_t c = 0; c < cfg_.k; ++c) {
+      double value = -cfg_.sharpen_alpha * gauss[c] / sum;
+      if (c == r) value += 1.0 + cfg_.sharpen_alpha;
+      // The diagonal exceeds 1.0, so A is stored as A/2 in Q1.15 (i.e.
+      // effectively Q2.14); the kernel compensates with a 14-bit shift.
+      a_q15_[r * cfg_.k + c] = static_cast<fixed::Sample>(
+          fixed::Q15::from_double(value / 2.0).raw());
+    }
+  }
+}
+
+std::vector<double> MatrixFilterApp::run(core::MemorySystem& system,
+                                         const ecg::Record& record) const {
+  if (record.samples.size() < cfg_.n) {
+    throw std::invalid_argument("MatrixFilterApp: record shorter than window");
+  }
+  const std::size_t k = cfg_.k;
+  const std::size_t cols = cfg_.n / k;
+
+  system.reset_allocator();
+  auto a_buf = core::ProtectedBuffer::allocate(system, k * k);
+  auto b_buf = core::ProtectedBuffer::allocate(system, cfg_.n);
+  auto c_buf = core::ProtectedBuffer::allocate(system, cfg_.n);
+
+  for (std::size_t i = 0; i < a_q15_.size(); ++i) a_buf.set(i, a_q15_[i]);
+  // B column-major: B[r][c] = x[c*k + r].
+  for (std::size_t i = 0; i < cfg_.n; ++i) b_buf.set(i, record.samples[i]);
+
+  // C = A x B, iterated; ping-pong between b_buf and c_buf.
+  core::ProtectedBuffer* src = &b_buf;
+  core::ProtectedBuffer* dst = &c_buf;
+  for (std::size_t it = 0; it < cfg_.iterations; ++it) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      for (std::size_t r = 0; r < k; ++r) {
+        std::int64_t acc = 0;
+        for (std::size_t m = 0; m < k; ++m) {
+          const auto coeff =
+              fixed::Q15::from_raw(a_buf.get(r * k + m));
+          acc += fixed::mul_q15(src->get(c * k + m), coeff);
+        }
+        // A is stored halved (Q2.14): shift by 14 restores full scale.
+        dst->set(c * k + r,
+                 fixed::saturate_sample(fixed::rounded_shift_right(acc, 14)));
+      }
+    }
+    std::swap(src, dst);
+  }
+
+  // After the final swap, `src` holds the last result.
+  std::vector<double> out;
+  out.reserve(cfg_.n);
+  for (std::size_t i = 0; i < cfg_.n; ++i) {
+    out.push_back(static_cast<double>(src->get(i)));
+  }
+  return out;
+}
+
+std::optional<std::vector<double>> MatrixFilterApp::ideal_output(
+    const ecg::Record& record) const {
+  const std::size_t k = cfg_.k;
+  const std::size_t cols = cfg_.n / k;
+  // Use the *quantized* operator values so the reference differs from the
+  // fixed-point run only by arithmetic precision, not by filter identity.
+  // Raw values hold A/2 (Q2.14), hence the 16384 divisor.
+  std::vector<double> a(k * k);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = static_cast<double>(a_q15_[i]) / 16384.0;
+  }
+  std::vector<double> cur(cfg_.n);
+  for (std::size_t i = 0; i < cfg_.n; ++i) {
+    cur[i] = static_cast<double>(record.samples[i]);
+  }
+  std::vector<double> next(cfg_.n, 0.0);
+  for (std::size_t it = 0; it < cfg_.iterations; ++it) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      for (std::size_t r = 0; r < k; ++r) {
+        double acc = 0.0;
+        for (std::size_t m = 0; m < k; ++m) {
+          acc += a[r * k + m] * cur[c * k + m];
+        }
+        next[c * k + r] = acc;
+      }
+    }
+    std::swap(cur, next);
+  }
+  return cur;
+}
+
+}  // namespace ulpdream::apps

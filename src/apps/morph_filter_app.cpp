@@ -1,0 +1,96 @@
+#include "ulpdream/apps/morph_filter_app.hpp"
+
+#include <stdexcept>
+
+#include "ulpdream/signal/morphology.hpp"
+
+namespace ulpdream::apps {
+
+std::vector<double> MorphFilterApp::run(core::MemorySystem& system,
+                                        const ecg::Record& record) const {
+  if (record.samples.size() < cfg_.n) {
+    throw std::invalid_argument("MorphFilterApp: record shorter than window");
+  }
+  const std::size_t n = cfg_.n;
+  system.reset_allocator();
+  auto input = core::ProtectedBuffer::allocate(system, n);
+  auto tmp = core::ProtectedBuffer::allocate(system, n);
+  auto baseline = core::ProtectedBuffer::allocate(system, n);
+  auto output = core::ProtectedBuffer::allocate(system, n);
+
+  for (std::size_t i = 0; i < n; ++i) input.set(i, record.samples[i]);
+
+  // Opening removes upward excursions (QRS) from the baseline estimate...
+  signal::open(input, tmp, baseline, cfg_.se1_half, n);
+  // ...closing fills the downward ones; result: the wandering baseline.
+  signal::close(baseline, tmp, output, cfg_.se2_half, n);
+
+  // Corrected signal = input - baseline (saturating).
+  for (std::size_t i = 0; i < n; ++i) {
+    output.set(i, fixed::sub_sat(input.get(i), output.get(i)));
+  }
+
+  std::vector<double> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(static_cast<double>(output.get(i)));
+  }
+  return out;
+}
+
+namespace {
+
+std::vector<double> erode_f64(const std::vector<double>& in,
+                              std::size_t half) {
+  const long n = static_cast<long>(in.size());
+  std::vector<double> out(in.size());
+  for (long i = 0; i < n; ++i) {
+    double best = in[static_cast<std::size_t>(i)];
+    for (long k = -static_cast<long>(half); k <= static_cast<long>(half);
+         ++k) {
+      long j = i + k;
+      if (j < 0) j = 0;
+      if (j >= n) j = n - 1;
+      best = std::min(best, in[static_cast<std::size_t>(j)]);
+    }
+    out[static_cast<std::size_t>(i)] = best;
+  }
+  return out;
+}
+
+std::vector<double> dilate_f64(const std::vector<double>& in,
+                               std::size_t half) {
+  const long n = static_cast<long>(in.size());
+  std::vector<double> out(in.size());
+  for (long i = 0; i < n; ++i) {
+    double best = in[static_cast<std::size_t>(i)];
+    for (long k = -static_cast<long>(half); k <= static_cast<long>(half);
+         ++k) {
+      long j = i + k;
+      if (j < 0) j = 0;
+      if (j >= n) j = n - 1;
+      best = std::max(best, in[static_cast<std::size_t>(j)]);
+    }
+    out[static_cast<std::size_t>(i)] = best;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::optional<std::vector<double>> MorphFilterApp::ideal_output(
+    const ecg::Record& record) const {
+  std::vector<double> x(cfg_.n);
+  for (std::size_t i = 0; i < cfg_.n; ++i) {
+    x[i] = static_cast<double>(record.samples[i]);
+  }
+  const std::vector<double> opened =
+      dilate_f64(erode_f64(x, cfg_.se1_half), cfg_.se1_half);
+  const std::vector<double> baseline =
+      erode_f64(dilate_f64(opened, cfg_.se2_half), cfg_.se2_half);
+  std::vector<double> out(cfg_.n);
+  for (std::size_t i = 0; i < cfg_.n; ++i) out[i] = x[i] - baseline[i];
+  return out;
+}
+
+}  // namespace ulpdream::apps

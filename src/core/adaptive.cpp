@@ -1,0 +1,48 @@
+#include "ulpdream/core/adaptive.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ulpdream::core {
+
+AdaptivePolicy::AdaptivePolicy(std::vector<PolicyRange> ranges) {
+  for (const auto& r : ranges) add_range(r.v_low, r.v_high, r.emt);
+}
+
+void AdaptivePolicy::add_range(double v_low, double v_high, EmtKind emt) {
+  if (!(v_low < v_high)) {
+    throw std::invalid_argument("AdaptivePolicy: v_low must be < v_high");
+  }
+  for (const auto& r : ranges_) {
+    if (v_low < r.v_high && r.v_low < v_high) {
+      throw std::invalid_argument("AdaptivePolicy: overlapping ranges");
+    }
+  }
+  ranges_.push_back({v_low, v_high, emt});
+  std::sort(ranges_.begin(), ranges_.end(),
+            [](const PolicyRange& a, const PolicyRange& b) {
+              return a.v_low < b.v_low;
+            });
+}
+
+EmtKind AdaptivePolicy::select(double v) const {
+  if (ranges_.empty()) return EmtKind::kNone;
+  for (const auto& r : ranges_) {
+    if (v >= r.v_low && v < r.v_high) return r.emt;
+  }
+  if (v >= ranges_.back().v_high) return EmtKind::kNone;
+  // Below all ranges: strongest protection (last resort). The paper notes
+  // voltages < 0.55 V require multi-error EMTs; we return the lowest
+  // range's technique as the best available.
+  return ranges_.front().emt;
+}
+
+AdaptivePolicy AdaptivePolicy::paper_dwt_policy() {
+  AdaptivePolicy policy;
+  policy.add_range(0.85, 0.90 + 1e-9, EmtKind::kNone);
+  policy.add_range(0.65, 0.85, EmtKind::kDream);
+  policy.add_range(0.55, 0.65, EmtKind::kEccSecDed);
+  return policy;
+}
+
+}  // namespace ulpdream::core

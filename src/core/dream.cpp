@@ -1,0 +1,71 @@
+#include "ulpdream/core/dream.hpp"
+
+#include <stdexcept>
+
+namespace ulpdream::core {
+
+Dream::Dream(int mask_id_bits) : mask_id_bits_(mask_id_bits) {
+  if (mask_id_bits < 1 || mask_id_bits > 4) {
+    throw std::invalid_argument("Dream: mask_id_bits must be in [1, 4]");
+  }
+  run_step_ = 16 >> mask_id_bits;  // 4 bits -> step 1 (exact runs)
+}
+
+std::string Dream::name() const {
+  if (mask_id_bits_ == 4) return "dream";
+  return "dream" + std::to_string(mask_id_bits_);
+}
+
+std::uint32_t Dream::encode_payload(fixed::Sample s) const {
+  return static_cast<std::uint16_t>(s);  // data stored unmodified
+}
+
+int Dream::recorded_run(fixed::Sample s) const {
+  const int run = fixed::sign_run_length(s);  // in [1, 16]
+  // Quantize downward so the decoder never forces a bit that was not part
+  // of the actual constant-MSB run.
+  const int id = (run - 1) / run_step_;          // fits mask_id_bits_
+  return id * run_step_ + 1;
+}
+
+std::uint16_t Dream::encode_safe(fixed::Sample s) const {
+  const auto u = static_cast<std::uint16_t>(s);
+  const std::uint16_t sign = (u >> 15) & 1u;
+  const int run = fixed::sign_run_length(s);
+  const auto id = static_cast<std::uint16_t>((run - 1) / run_step_);
+  return static_cast<std::uint16_t>((id << 1) | sign);
+}
+
+fixed::Sample Dream::decode(std::uint32_t payload, std::uint16_t safe,
+                            CodecCounters* counters) const {
+  const auto data = static_cast<std::uint16_t>(payload);
+  const bool sign = (safe & 1u) != 0;
+  const int id = static_cast<int>(safe >> 1);
+  const int run = id * run_step_ + 1;  // recorded run length, in [1, 16]
+
+  // Expand mask ID to a full mask covering the top `run` bits (the
+  // hardware lookup table of Fig. 3).
+  const std::uint16_t mask =
+      static_cast<std::uint16_t>(~((1u << (16 - run)) - 1u) & 0xFFFFu);
+
+  // AND/OR + 2:1 mux selected by the sign bit.
+  std::uint16_t fixed_word =
+      sign ? static_cast<std::uint16_t>(data | mask)
+           : static_cast<std::uint16_t>(data & static_cast<std::uint16_t>(~mask));
+
+  // "Set one bit" block: with exact run lengths, the bit right below the
+  // run is by construction the inverted sign — restore it unconditionally.
+  if (run_step_ == 1 && run < 16) {
+    const std::uint16_t below = static_cast<std::uint16_t>(1u << (15 - run));
+    fixed_word = sign ? static_cast<std::uint16_t>(fixed_word & ~below)
+                      : static_cast<std::uint16_t>(fixed_word | below);
+  }
+
+  if (counters != nullptr) {
+    ++counters->decodes;
+    if (fixed_word != data) ++counters->corrected_words;
+  }
+  return static_cast<fixed::Sample>(fixed_word);
+}
+
+}  // namespace ulpdream::core

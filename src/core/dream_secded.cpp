@@ -1,0 +1,33 @@
+#include "ulpdream/core/dream_secded.hpp"
+
+namespace ulpdream::core {
+
+fixed::Sample DreamSecDed::decode(std::uint32_t payload, std::uint16_t safe,
+                                  CodecCounters* counters) const {
+  // Stage 1: Hamming correction on the full 22-bit codeword.
+  CodecCounters ecc_counters;
+  const fixed::Sample after_ecc = ecc_.decode(payload, 0, &ecc_counters);
+
+  // Stage 2: DREAM mask forcing on the extracted data word. The mask pass
+  // is idempotent on clean data, so applying it unconditionally is safe.
+  const std::uint32_t data_payload = dream_.encode_payload(after_ecc);
+  CodecCounters dream_counters;
+  const fixed::Sample result =
+      dream_.decode(data_payload, safe, &dream_counters);
+
+  if (counters != nullptr) {
+    ++counters->decodes;
+    if (ecc_counters.corrected_words + dream_counters.corrected_words > 0) {
+      ++counters->corrected_words;
+    }
+    // Uncorrectable only if ECC flagged a double AND the mask pass did not
+    // change anything (the residual errors are below the protected run).
+    if (ecc_counters.detected_uncorrectable > 0 &&
+        dream_counters.corrected_words == 0) {
+      ++counters->detected_uncorrectable;
+    }
+  }
+  return result;
+}
+
+}  // namespace ulpdream::core

@@ -1,0 +1,111 @@
+#include "ulpdream/core/ecc_secded.hpp"
+
+#include <bit>
+
+namespace ulpdream::core {
+
+namespace {
+// Payload layout: bit (p-1) of the 22-bit payload holds Hamming position p
+// for p in 1..21; payload bit 21 holds the overall parity.
+constexpr int kOverallBit = 21;
+
+constexpr bool is_power_of_two(int v) { return v > 0 && (v & (v - 1)) == 0; }
+}  // namespace
+
+EccSecDed::EccSecDed() {
+  int next = 0;
+  for (int pos = 1; pos <= kHammingBits; ++pos) {
+    if (is_power_of_two(pos)) continue;  // parity positions 1,2,4,8,16
+    data_pos_[static_cast<std::size_t>(next++)] = pos;
+  }
+}
+
+std::uint32_t EccSecDed::compute_checked(std::uint32_t with_data) const {
+  std::uint32_t code = with_data;
+  // Each parity bit at position 2^k covers all positions with bit k set.
+  for (int k = 0; k < 5; ++k) {
+    const int ppos = 1 << k;
+    int parity = 0;
+    for (int pos = 1; pos <= kHammingBits; ++pos) {
+      if (pos == ppos) continue;
+      if ((pos & ppos) == 0) continue;
+      parity ^= static_cast<int>((code >> (pos - 1)) & 1u);
+    }
+    if (parity != 0) code |= 1u << (ppos - 1);
+  }
+  // Overall parity across the 21 Hamming bits (even total parity over 22).
+  const int overall = std::popcount(code & ((1u << kHammingBits) - 1u)) & 1;
+  if (overall != 0) code |= 1u << kOverallBit;
+  return code;
+}
+
+std::uint32_t EccSecDed::encode_payload(fixed::Sample s) const {
+  const auto u = static_cast<std::uint16_t>(s);
+  std::uint32_t code = 0;
+  for (int i = 0; i < 16; ++i) {
+    if ((u >> i) & 1u) {
+      code |= 1u << (data_pos_[static_cast<std::size_t>(i)] - 1);
+    }
+  }
+  return compute_checked(code);
+}
+
+fixed::Sample EccSecDed::extract_data(std::uint32_t codeword) const {
+  std::uint16_t data = 0;
+  for (int i = 0; i < 16; ++i) {
+    if ((codeword >> (data_pos_[static_cast<std::size_t>(i)] - 1)) & 1u) {
+      data |= static_cast<std::uint16_t>(1u << i);
+    }
+  }
+  return static_cast<fixed::Sample>(data);
+}
+
+fixed::Sample EccSecDed::decode_ex(std::uint32_t payload,
+                                   Outcome& outcome) const {
+  // Syndrome: XOR of the (1-based) positions whose stored bit is 1.
+  int syndrome = 0;
+  for (int pos = 1; pos <= kHammingBits; ++pos) {
+    if ((payload >> (pos - 1)) & 1u) syndrome ^= pos;
+  }
+  const int overall =
+      std::popcount(payload & ((1u << (kOverallBit + 1)) - 1u)) & 1;
+
+  if (syndrome == 0 && overall == 0) {
+    outcome = Outcome::kClean;
+    return extract_data(payload);
+  }
+  if (overall != 0) {
+    // Odd number of errors — assume one and correct it. syndrome == 0
+    // means the flipped bit was the overall parity bit itself.
+    std::uint32_t fixed_code = payload;
+    if (syndrome >= 1 && syndrome <= kHammingBits) {
+      fixed_code ^= 1u << (syndrome - 1);
+    } else if (syndrome != 0) {
+      // Syndrome points outside the codeword: >= 3 errors aliased; report
+      // detection and return the best-effort data.
+      outcome = Outcome::kDetectedUncorrectable;
+      return extract_data(payload);
+    }
+    outcome = Outcome::kCorrected;
+    return extract_data(fixed_code);
+  }
+  // syndrome != 0, overall parity even: double error — detectable only.
+  outcome = Outcome::kDetectedUncorrectable;
+  return extract_data(payload);
+}
+
+fixed::Sample EccSecDed::decode(std::uint32_t payload, std::uint16_t /*safe*/,
+                                CodecCounters* counters) const {
+  Outcome outcome{};
+  const fixed::Sample s = decode_ex(payload, outcome);
+  if (counters != nullptr) {
+    ++counters->decodes;
+    if (outcome == Outcome::kCorrected) ++counters->corrected_words;
+    if (outcome == Outcome::kDetectedUncorrectable) {
+      ++counters->detected_uncorrectable;
+    }
+  }
+  return s;
+}
+
+}  // namespace ulpdream::core

@@ -1,0 +1,54 @@
+#include "ulpdream/core/factory.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include "ulpdream/core/dream.hpp"
+#include "ulpdream/core/dream_secded.hpp"
+#include "ulpdream/core/ecc_secded.hpp"
+#include "ulpdream/core/no_protection.hpp"
+
+namespace ulpdream::core {
+
+const char* emt_kind_name(EmtKind kind) {
+  switch (kind) {
+    case EmtKind::kNone:
+      return "none";
+    case EmtKind::kDream:
+      return "dream";
+    case EmtKind::kEccSecDed:
+      return "ecc_secded";
+    case EmtKind::kDreamSecDed:
+      return "dream_secded";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<Emt> make_emt(EmtKind kind) {
+  switch (kind) {
+    case EmtKind::kNone:
+      return std::make_unique<NoProtection>();
+    case EmtKind::kDream:
+      return std::make_unique<Dream>();
+    case EmtKind::kEccSecDed:
+      return std::make_unique<EccSecDed>();
+    case EmtKind::kDreamSecDed:
+      return std::make_unique<DreamSecDed>();
+  }
+  throw std::invalid_argument("make_emt: unknown kind");
+}
+
+const std::vector<EmtKind>& all_emt_kinds() {
+  static const std::vector<EmtKind> kinds = {
+      EmtKind::kNone, EmtKind::kDream, EmtKind::kEccSecDed};
+  return kinds;
+}
+
+const std::vector<EmtKind>& extended_emt_kinds() {
+  static const std::vector<EmtKind> kinds = {
+      EmtKind::kNone, EmtKind::kDream, EmtKind::kEccSecDed,
+      EmtKind::kDreamSecDed};
+  return kinds;
+}
+
+}  // namespace ulpdream::core

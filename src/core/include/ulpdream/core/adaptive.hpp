@@ -1,0 +1,46 @@
+#pragma once
+// Voltage-range EMT selection (paper Sec. VI-C): the system triggers
+// no-protection / DREAM / ECC depending on the memory supply voltage so
+// that output quality stays within the application's tolerance while
+// minimizing protection overhead.
+
+#include <vector>
+
+#include "ulpdream/core/emt.hpp"
+
+namespace ulpdream::core {
+
+/// One policy entry: use `emt` for supply voltages in [v_low, v_high).
+struct PolicyRange {
+  double v_low;
+  double v_high;
+  EmtKind emt;
+};
+
+class AdaptivePolicy {
+ public:
+  AdaptivePolicy() = default;
+  explicit AdaptivePolicy(std::vector<PolicyRange> ranges);
+
+  /// Adds a range; ranges may be appended in any order but must not
+  /// overlap. Throws std::invalid_argument on overlap or v_low >= v_high.
+  void add_range(double v_low, double v_high, EmtKind emt);
+
+  /// EMT for the given voltage. Voltages above every range fall back to
+  /// kNone (nominal operation needs no protection); voltages below every
+  /// range return the strongest configured EMT for safety.
+  [[nodiscard]] EmtKind select(double v) const;
+
+  [[nodiscard]] const std::vector<PolicyRange>& ranges() const noexcept {
+    return ranges_;
+  }
+
+  /// The policy the paper derives for DWT with a -1 dB tolerance:
+  /// [0.85, 0.90] none, [0.65, 0.85] DREAM, [0.55, 0.65] ECC SEC/DED.
+  [[nodiscard]] static AdaptivePolicy paper_dwt_policy();
+
+ private:
+  std::vector<PolicyRange> ranges_;
+};
+
+}  // namespace ulpdream::core

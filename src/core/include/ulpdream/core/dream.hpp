@@ -1,0 +1,62 @@
+#pragma once
+// DREAM — Dynamic eRror compEnsation And Masking (the paper's Sec. IV).
+//
+// Observation: ADC samples of biosignals rarely use the full 16-bit range;
+// each word starts with a run of identical MSBs (the sign extension), and
+// errors on exactly those MSB positions are the ones that destroy output
+// quality (Fig. 2). DREAM therefore:
+//
+//  WRITE: stores the sample unmodified in the faulty memory, and in
+//  parallel computes the length of the run of sign-valued MSBs; the run
+//  length (mask ID, log2(16) = 4 bits) concatenated with the sign bit is
+//  stored in a small always-on side memory (1 + 4 = 5 extra bits/word,
+//  paper Formula 2).
+//
+//  READ: the mask ID is expanded to a bit mask via a lookup table; an AND
+//  (sign 0) or OR (sign 1) against the corrupted payload forces the masked
+//  MSBs back to the sign value, a 2:1 mux selected by the sign picks the
+//  result, and one additional bit — the first bit after the run, which by
+//  definition of a maximal run is always the inverted sign — is restored
+//  by the "set one bit" block. DREAM hence corrects *any* number of errors
+//  within the top run+1 bit positions, which is exactly where they hurt.
+//
+// The mask-ID width is configurable (default 4 bits = exact run lengths)
+// to support the D1 ablation in DESIGN.md: narrower IDs quantize the run
+// length downward, shrinking both the protected region and the side-memory
+// cost. The inverted-bit trick is only sound when the recorded run length
+// is exact, so it is applied only at full resolution.
+
+#include "ulpdream/core/emt.hpp"
+
+namespace ulpdream::core {
+
+class Dream final : public Emt {
+ public:
+  /// `mask_id_bits` in [1, 4]; 4 reproduces the paper exactly.
+  explicit Dream(int mask_id_bits = 4);
+
+  [[nodiscard]] EmtKind kind() const override { return EmtKind::kDream; }
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] int payload_bits() const override {
+    return fixed::kSampleBits;
+  }
+  [[nodiscard]] int safe_bits() const override { return 1 + mask_id_bits_; }
+
+  [[nodiscard]] std::uint32_t encode_payload(fixed::Sample s) const override;
+  [[nodiscard]] std::uint16_t encode_safe(fixed::Sample s) const override;
+  [[nodiscard]] fixed::Sample decode(
+      std::uint32_t payload, std::uint16_t safe,
+      CodecCounters* counters = nullptr) const override;
+
+  /// The run length the decoder will assume for a given sample (after
+  /// mask-ID quantization). Exposed for property tests.
+  [[nodiscard]] int recorded_run(fixed::Sample s) const;
+
+  [[nodiscard]] int mask_id_bits() const noexcept { return mask_id_bits_; }
+
+ private:
+  int mask_id_bits_;
+  int run_step_;  ///< run-length quantization step = 16 / 2^mask_id_bits
+};
+
+}  // namespace ulpdream::core

@@ -1,0 +1,52 @@
+#pragma once
+// ECC SEC/DED baseline: extended Hamming(22,16) — Single Error Correction,
+// Double Error Detection (the paper's reference EMT, its ref [14]).
+// 5 Hamming parity bits + 1 overall parity = 6 extra bits per 16-bit word
+// (paper Sec. V: 2 + log2(16) = 6). Unlike DREAM, *all* 22 bits live in
+// the voltage-scaled memory: the check bits are exposed to the same stuck-
+// at faults as the data — which is why SEC/DED collapses below 0.55 V when
+// multi-bit faults per word become likely (it detects but cannot correct).
+
+#include <array>
+
+#include "ulpdream/core/emt.hpp"
+
+namespace ulpdream::core {
+
+class EccSecDed final : public Emt {
+ public:
+  static constexpr int kPayloadBits = 22;
+  static constexpr int kHammingBits = 21;  ///< positions 1..21 (1-based)
+
+  EccSecDed();
+
+  [[nodiscard]] EmtKind kind() const override { return EmtKind::kEccSecDed; }
+  [[nodiscard]] std::string name() const override { return "ecc_secded"; }
+  [[nodiscard]] int payload_bits() const override { return kPayloadBits; }
+  [[nodiscard]] int safe_bits() const override { return 0; }
+
+  [[nodiscard]] std::uint32_t encode_payload(fixed::Sample s) const override;
+  [[nodiscard]] std::uint16_t encode_safe(fixed::Sample) const override {
+    return 0;
+  }
+  [[nodiscard]] fixed::Sample decode(
+      std::uint32_t payload, std::uint16_t safe,
+      CodecCounters* counters = nullptr) const override;
+
+  /// Result classification of the last decodable scenario, for tests: the
+  /// decode path itself only reports via CodecCounters.
+  enum class Outcome { kClean, kCorrected, kDetectedUncorrectable };
+
+  /// Decode with explicit outcome (test/diagnostic entry point).
+  [[nodiscard]] fixed::Sample decode_ex(std::uint32_t payload,
+                                        Outcome& outcome) const;
+
+ private:
+  [[nodiscard]] std::uint32_t compute_checked(std::uint32_t with_data) const;
+  [[nodiscard]] fixed::Sample extract_data(std::uint32_t codeword) const;
+
+  /// Hamming position (1-based, in 1..21) of data bit i.
+  std::array<int, 16> data_pos_{};
+};
+
+}  // namespace ulpdream::core

@@ -1,0 +1,71 @@
+#pragma once
+// Error Mitigation Technique (EMT) interface — the abstraction the paper
+// compares instances of (no protection, DREAM, ECC SEC/DED).
+//
+// An EMT splits each 16-bit sample into:
+//  - a *payload* of payload_bits() stored in the voltage-scaled (faulty)
+//    data memory — the data word itself plus any check bits that are
+//    scaled along with it (ECC stores its 6 check bits here);
+//  - a *safe word* of safe_bits() stored in the small error-free side
+//    memory kept at nominal voltage (DREAM stores sign + mask ID here).
+//
+// decode() reconstructs the sample from the possibly-corrupted payload and
+// the intact safe word. The split mirrors the hardware cost asymmetry that
+// drives the paper's energy result: payload bits pay scaled-memory energy
+// per access, safe bits pay nominal-voltage energy per access.
+
+#include <cstdint>
+#include <string>
+
+#include "ulpdream/fixed/sample.hpp"
+
+namespace ulpdream::core {
+
+enum class EmtKind : std::uint8_t {
+  kNone = 0,
+  kDream,
+  kEccSecDed,
+  /// DREAM + SEC/DED hybrid — the multi-error extension for < 0.55 V
+  /// operation the paper's conclusion calls for (not part of the paper's
+  /// own evaluation; see bench_ablations / bench_deep_voltage).
+  kDreamSecDed,
+};
+
+[[nodiscard]] const char* emt_kind_name(EmtKind kind);
+
+/// Decode-side observability: how often the technique corrected or gave up.
+struct CodecCounters {
+  std::uint64_t decodes = 0;
+  std::uint64_t corrected_words = 0;        ///< decode changed >= 1 bit
+  std::uint64_t detected_uncorrectable = 0; ///< flagged but not fixed (ECC DED)
+
+  void reset() { *this = CodecCounters{}; }
+};
+
+class Emt {
+ public:
+  virtual ~Emt() = default;
+
+  [[nodiscard]] virtual EmtKind kind() const = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Bits stored per word in the voltage-scaled data memory (>= 16).
+  [[nodiscard]] virtual int payload_bits() const = 0;
+  /// Bits stored per word in the error-free side memory (>= 0).
+  [[nodiscard]] virtual int safe_bits() const = 0;
+  /// Paper Formula 2 / Sec. V: total extra bits per 16-bit data word.
+  [[nodiscard]] int extra_bits() const {
+    return (payload_bits() - fixed::kSampleBits) + safe_bits();
+  }
+
+  [[nodiscard]] virtual std::uint32_t encode_payload(
+      fixed::Sample s) const = 0;
+  [[nodiscard]] virtual std::uint16_t encode_safe(fixed::Sample s) const = 0;
+
+  /// Reconstructs the sample; updates `counters` when provided.
+  [[nodiscard]] virtual fixed::Sample decode(
+      std::uint32_t payload, std::uint16_t safe,
+      CodecCounters* counters = nullptr) const = 0;
+};
+
+}  // namespace ulpdream::core

@@ -1,0 +1,20 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "ulpdream/core/emt.hpp"
+
+namespace ulpdream::core {
+
+/// Instantiates the EMT for a kind (paper-exact parameters).
+[[nodiscard]] std::unique_ptr<Emt> make_emt(EmtKind kind);
+
+/// All kinds the paper evaluates, in presentation order (Fig. 4 a, b, c).
+[[nodiscard]] const std::vector<EmtKind>& all_emt_kinds();
+
+/// Paper kinds plus the extensions this library adds (hybrid multi-error
+/// EMT for deep-voltage operation).
+[[nodiscard]] const std::vector<EmtKind>& extended_emt_kinds();
+
+}  // namespace ulpdream::core

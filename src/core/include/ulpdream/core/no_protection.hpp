@@ -1,0 +1,31 @@
+#pragma once
+// Baseline EMT: the raw 16-bit sample stored as-is in the scaled memory.
+
+#include "ulpdream/core/emt.hpp"
+
+namespace ulpdream::core {
+
+class NoProtection final : public Emt {
+ public:
+  [[nodiscard]] EmtKind kind() const override { return EmtKind::kNone; }
+  [[nodiscard]] std::string name() const override { return "none"; }
+  [[nodiscard]] int payload_bits() const override {
+    return fixed::kSampleBits;
+  }
+  [[nodiscard]] int safe_bits() const override { return 0; }
+
+  [[nodiscard]] std::uint32_t encode_payload(fixed::Sample s) const override {
+    return static_cast<std::uint16_t>(s);
+  }
+  [[nodiscard]] std::uint16_t encode_safe(fixed::Sample) const override {
+    return 0;
+  }
+  [[nodiscard]] fixed::Sample decode(
+      std::uint32_t payload, std::uint16_t,
+      CodecCounters* counters = nullptr) const override {
+    if (counters != nullptr) ++counters->decodes;
+    return static_cast<fixed::Sample>(static_cast<std::uint16_t>(payload));
+  }
+};
+
+}  // namespace ulpdream::core

@@ -1,0 +1,94 @@
+#pragma once
+// MemorySystem + ProtectedBuffer: the glue between applications and the
+// faulty memory. A MemorySystem owns the voltage-scaled data array (sized
+// for the EMT's payload width) and, when the EMT needs one, the error-free
+// side array. ProtectedBuffer exposes a SampleBuffer-conforming window of
+// that memory: every set() runs the EMT encoder, every get() runs the
+// fault-injection path plus the EMT decoder — exactly the data path the
+// paper instruments in its extended VirtualSOC model.
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+
+#include "ulpdream/core/emt.hpp"
+#include "ulpdream/mem/memory.hpp"
+
+namespace ulpdream::core {
+
+class MemorySystem {
+ public:
+  /// `words`: capacity of the data array in 16-bit samples (default: the
+  /// paper's full 32 kB / 16-bit geometry).
+  ///
+  /// Lifetime: the MemorySystem keeps a non-owning reference to `emt`,
+  /// which must outlive it. In particular do NOT pass a dereferenced
+  /// temporary (`MemorySystem sys(*make_emt(k))` dangles) — keep the
+  /// unique_ptr alive alongside the system.
+  explicit MemorySystem(const Emt& emt,
+                        std::size_t words = mem::MemoryGeometry::kWords16,
+                        int banks = mem::MemoryGeometry::kBanks);
+
+  [[nodiscard]] const Emt& emt() const noexcept { return *emt_; }
+  [[nodiscard]] mem::FaultyMemory& data() noexcept { return data_; }
+  [[nodiscard]] const mem::FaultyMemory& data() const noexcept {
+    return data_;
+  }
+  [[nodiscard]] mem::SafeMemory* safe() noexcept {
+    return safe_ ? &*safe_ : nullptr;
+  }
+  [[nodiscard]] const mem::SafeMemory* safe() const noexcept {
+    return safe_ ? &*safe_ : nullptr;
+  }
+
+  void attach_faults(const mem::FaultMap* map) { data_.attach_faults(map); }
+  void set_scrambler(std::uint64_t seed) { data_.set_scrambler(seed); }
+
+  [[nodiscard]] CodecCounters& counters() noexcept { return counters_; }
+  [[nodiscard]] const CodecCounters& counters() const noexcept {
+    return counters_;
+  }
+
+  void reset_stats();
+
+  /// Bump allocator over the data array (word granularity). Throws
+  /// std::bad_alloc when the 32 kB footprint would be exceeded — apps must
+  /// fit the device memory, as on the real node.
+  [[nodiscard]] std::size_t allocate(std::size_t words);
+  void reset_allocator() noexcept { next_free_ = 0; }
+  [[nodiscard]] std::size_t words_allocated() const noexcept {
+    return next_free_;
+  }
+
+ private:
+  const Emt* emt_;
+  mem::FaultyMemory data_;
+  std::optional<mem::SafeMemory> safe_;
+  CodecCounters counters_;
+  std::size_t next_free_ = 0;
+};
+
+/// SampleBuffer view over a MemorySystem allocation.
+class ProtectedBuffer {
+ public:
+  ProtectedBuffer(MemorySystem& system, std::size_t base, std::size_t length)
+      : system_(&system), base_(base), length_(length) {}
+
+  /// Allocates a fresh buffer of `length` words from the system.
+  static ProtectedBuffer allocate(MemorySystem& system, std::size_t length) {
+    return {system, system.allocate(length), length};
+  }
+
+  [[nodiscard]] fixed::Sample get(std::size_t i) const;
+  void set(std::size_t i, fixed::Sample s);
+  [[nodiscard]] std::size_t size() const noexcept { return length_; }
+
+  [[nodiscard]] std::size_t base() const noexcept { return base_; }
+
+ private:
+  MemorySystem* system_;
+  std::size_t base_;
+  std::size_t length_;
+};
+
+}  // namespace ulpdream::core

@@ -1,0 +1,5 @@
+#include "ulpdream/core/no_protection.hpp"
+
+// NoProtection is fully inline; this translation unit anchors the vtable.
+
+namespace ulpdream::core {}

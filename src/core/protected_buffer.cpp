@@ -1,0 +1,48 @@
+#include "ulpdream/core/protected_buffer.hpp"
+
+#include <new>
+#include <stdexcept>
+
+namespace ulpdream::core {
+
+MemorySystem::MemorySystem(const Emt& emt, std::size_t words, int banks)
+    : emt_(&emt), data_(words, emt.payload_bits(), banks) {
+  if (emt.safe_bits() > 0) {
+    safe_.emplace(words, emt.safe_bits());
+  }
+}
+
+void MemorySystem::reset_stats() {
+  data_.reset_stats();
+  if (safe_) safe_->reset_stats();
+  counters_.reset();
+}
+
+std::size_t MemorySystem::allocate(std::size_t words) {
+  if (next_free_ + words > data_.words()) {
+    throw std::bad_alloc();  // exceeds the device's 32 kB data memory
+  }
+  const std::size_t base = next_free_;
+  next_free_ += words;
+  return base;
+}
+
+fixed::Sample ProtectedBuffer::get(std::size_t i) const {
+  if (i >= length_) throw std::out_of_range("ProtectedBuffer::get");
+  const std::size_t addr = base_ + i;
+  const std::uint32_t payload = system_->data().read(addr);
+  std::uint16_t safe_word = 0;
+  if (auto* safe = system_->safe()) safe_word = safe->read(addr);
+  return system_->emt().decode(payload, safe_word, &system_->counters());
+}
+
+void ProtectedBuffer::set(std::size_t i, fixed::Sample s) {
+  if (i >= length_) throw std::out_of_range("ProtectedBuffer::set");
+  const std::size_t addr = base_ + i;
+  system_->data().write(addr, system_->emt().encode_payload(s));
+  if (auto* safe = system_->safe()) {
+    safe->write(addr, system_->emt().encode_safe(s));
+  }
+}
+
+}  // namespace ulpdream::core

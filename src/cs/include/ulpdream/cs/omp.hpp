@@ -1,0 +1,33 @@
+#pragma once
+// Orthogonal Matching Pursuit — the sparse-recovery solver used by the
+// base-station side of the CS pipeline. Solves
+//     min ||alpha||_0  s.t.  y ~= A * alpha
+// greedily: pick the column most correlated with the residual, re-solve
+// the least-squares on the active set, repeat until the residual or the
+// iteration budget is exhausted.
+
+#include <cstddef>
+#include <vector>
+
+#include "ulpdream/linalg/matrix.hpp"
+
+namespace ulpdream::cs {
+
+struct OmpConfig {
+  std::size_t max_atoms = 64;        ///< sparsity budget
+  double residual_tol = 1e-6;        ///< stop when ||r||/||y|| drops below
+};
+
+struct OmpResult {
+  std::vector<double> solution;      ///< full-length alpha (zeros off-support)
+  std::vector<std::size_t> support;  ///< chosen atom indices in pick order
+  double residual_norm = 0.0;
+  std::size_t iterations = 0;
+};
+
+/// Runs OMP on the (m x n) dictionary `a` and measurement `y` (length m).
+[[nodiscard]] OmpResult omp_solve(const linalg::Matrix& a,
+                                  const std::vector<double>& y,
+                                  const OmpConfig& cfg);
+
+}  // namespace ulpdream::cs

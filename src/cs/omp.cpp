@@ -1,0 +1,78 @@
+#include "ulpdream/cs/omp.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "ulpdream/linalg/solve.hpp"
+
+namespace ulpdream::cs {
+
+OmpResult omp_solve(const linalg::Matrix& a, const std::vector<double>& y,
+                    const OmpConfig& cfg) {
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  if (y.size() != m) throw std::invalid_argument("omp_solve: size mismatch");
+
+  OmpResult result;
+  result.solution.assign(n, 0.0);
+  std::vector<double> residual = y;
+  const double y_norm = linalg::norm2(y);
+  if (y_norm == 0.0) return result;
+
+  std::vector<bool> in_support(n, false);
+  // Columns of the active sub-dictionary, gathered incrementally.
+  linalg::Matrix active(m, 0);
+  std::vector<double> coeffs;
+
+  for (std::size_t it = 0; it < cfg.max_atoms && it < m; ++it) {
+    // Correlation step: strongest remaining atom.
+    const std::vector<double> corr = a.multiply_transposed(residual);
+    std::size_t best = n;
+    double best_mag = 0.0;
+    for (std::size_t c = 0; c < n; ++c) {
+      if (in_support[c]) continue;
+      const double mag = std::fabs(corr[c]);
+      if (mag > best_mag) {
+        best_mag = mag;
+        best = c;
+      }
+    }
+    if (best == n || best_mag < 1e-14) break;
+    in_support[best] = true;
+    result.support.push_back(best);
+
+    // Grow the active dictionary by the chosen column.
+    linalg::Matrix grown(m, result.support.size());
+    for (std::size_t c = 0; c + 1 < result.support.size(); ++c) {
+      for (std::size_t r = 0; r < m; ++r) grown.at(r, c) = active.at(r, c);
+    }
+    {
+      const std::vector<double> col = a.column(best);
+      for (std::size_t r = 0; r < m; ++r) {
+        grown.at(r, result.support.size() - 1) = col[r];
+      }
+    }
+    active = std::move(grown);
+
+    // Least squares on the active set.
+    coeffs = linalg::least_squares(active, y);
+
+    // Residual update.
+    residual = y;
+    for (std::size_t c = 0; c < result.support.size(); ++c) {
+      for (std::size_t r = 0; r < m; ++r) {
+        residual[r] -= coeffs[c] * active.at(r, c);
+      }
+    }
+    result.iterations = it + 1;
+    result.residual_norm = linalg::norm2(residual);
+    if (result.residual_norm / y_norm < cfg.residual_tol) break;
+  }
+
+  for (std::size_t c = 0; c < result.support.size(); ++c) {
+    result.solution[result.support[c]] = coeffs.empty() ? 0.0 : coeffs[c];
+  }
+  return result;
+}
+
+}  // namespace ulpdream::cs

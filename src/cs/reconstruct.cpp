@@ -1,0 +1,40 @@
+#include "ulpdream/cs/reconstruct.hpp"
+
+#include <stdexcept>
+
+namespace ulpdream::cs {
+
+CsReconstructor::CsReconstructor(const CsConfig& cfg)
+    : cfg_(cfg),
+      phi_(make_sparse_phi(cfg.block_m, cfg.block_n, cfg.ones_per_column,
+                           cfg.phi_seed)),
+      dictionary_(cfg.block_m, cfg.block_n) {
+  if (cfg.block_m == 0 || cfg.block_m > cfg.block_n) {
+    throw std::invalid_argument("CsReconstructor: need 0 < m <= n");
+  }
+  // Column j of A is Phi applied to the j-th wavelet synthesis atom.
+  const linalg::Matrix dense_phi = phi_.to_dense();
+  std::vector<double> unit(cfg.block_n, 0.0);
+  for (std::size_t j = 0; j < cfg.block_n; ++j) {
+    unit[j] = 1.0;
+    const std::vector<double> atom =
+        signal::idwt_multi_f64(unit, cfg.family, cfg.dwt_levels);
+    const std::vector<double> projected = dense_phi.multiply(atom);
+    for (std::size_t r = 0; r < cfg.block_m; ++r) {
+      dictionary_.at(r, j) = projected[r];
+    }
+    unit[j] = 0.0;
+  }
+}
+
+std::vector<double> CsReconstructor::reconstruct(
+    const std::vector<double>& y) const {
+  if (y.size() != cfg_.block_m) {
+    throw std::invalid_argument("CsReconstructor::reconstruct: bad y size");
+  }
+  const OmpResult sparse = omp_solve(dictionary_, y, cfg_.omp);
+  return signal::idwt_multi_f64(sparse.solution, cfg_.family,
+                                cfg_.dwt_levels);
+}
+
+}  // namespace ulpdream::cs

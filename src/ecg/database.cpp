@@ -1,0 +1,33 @@
+#include "ulpdream/ecg/database.hpp"
+
+#include "ulpdream/util/rng.hpp"
+
+namespace ulpdream::ecg {
+
+std::vector<Record> make_database(const DatabaseConfig& cfg) {
+  static constexpr Pathology kAll[] = {
+      Pathology::kNormalSinus, Pathology::kBradycardia,
+      Pathology::kTachycardia, Pathology::kPvcBigeminy,
+      Pathology::kAtrialFib,   Pathology::kStElevation};
+  std::vector<Record> records;
+  std::size_t idx = 0;
+  for (Pathology p : kAll) {
+    for (std::size_t r = 0; r < cfg.records_per_pathology; ++r) {
+      GeneratorConfig gen;
+      gen.fs_hz = cfg.fs_hz;
+      gen.duration_s = cfg.duration_s;
+      gen.pathology = p;
+      gen.seed = util::mix64(cfg.seed, idx++);
+      records.push_back(generate_record(gen));
+    }
+  }
+  return records;
+}
+
+Record make_default_record(std::uint64_t seed) {
+  GeneratorConfig cfg;
+  cfg.seed = seed;
+  return generate_record(cfg);
+}
+
+}  // namespace ulpdream::ecg

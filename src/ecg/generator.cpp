@@ -1,0 +1,137 @@
+#include "ulpdream/ecg/generator.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace ulpdream::ecg {
+
+const char* pathology_name(Pathology p) {
+  switch (p) {
+    case Pathology::kNormalSinus:
+      return "normal_sinus";
+    case Pathology::kBradycardia:
+      return "bradycardia";
+    case Pathology::kTachycardia:
+      return "tachycardia";
+    case Pathology::kPvcBigeminy:
+      return "pvc";
+    case Pathology::kAtrialFib:
+      return "afib";
+    case Pathology::kStElevation:
+      return "st_elevation";
+  }
+  return "unknown";
+}
+
+namespace {
+
+RhythmParams rhythm_for(Pathology p) {
+  RhythmParams r;
+  switch (p) {
+    case Pathology::kNormalSinus:
+      break;
+    case Pathology::kBradycardia:
+      r.mean_hr_bpm = 45.0;
+      break;
+    case Pathology::kTachycardia:
+      r.mean_hr_bpm = 135.0;
+      r.hrv_std_frac = 0.015;
+      break;
+    case Pathology::kPvcBigeminy:
+      r.pvc_probability = 0.25;
+      break;
+    case Pathology::kAtrialFib:
+      r.afib_irregularity = 0.25;
+      r.rsa_depth_frac = 0.0;
+      break;
+    case Pathology::kStElevation:
+      r.mean_hr_bpm = 88.0;
+      break;
+  }
+  return r;
+}
+
+BeatMorphology morphology_for(Pathology p, bool pvc_beat) {
+  if (pvc_beat) return pvc_morphology();
+  switch (p) {
+    case Pathology::kAtrialFib:
+      return afib_morphology();
+    case Pathology::kStElevation:
+      return st_elevation_morphology();
+    default:
+      return normal_morphology();
+  }
+}
+
+}  // namespace
+
+Record generate_record(const GeneratorConfig& cfg) {
+  util::Xoshiro256 rng(cfg.seed);
+  Record rec;
+  rec.name = std::string(pathology_name(cfg.pathology)) + "_s" +
+             std::to_string(cfg.seed);
+  rec.fs_hz = cfg.fs_hz;
+
+  const auto n =
+      static_cast<std::size_t>(cfg.duration_s * cfg.fs_hz);
+  rec.waveform_mv.assign(n, cfg.dc_offset_mv);
+
+  const RhythmParams rhythm = rhythm_for(cfg.pathology);
+  const std::vector<BeatEvent> beats =
+      generate_rhythm(rhythm, cfg.duration_s, rng);
+
+  for (const BeatEvent& beat : beats) {
+    const BeatMorphology morph =
+        morphology_for(cfg.pathology, beat.is_pvc);
+    const auto start = static_cast<long>(beat.onset_s * cfg.fs_hz);
+    const auto len = static_cast<long>(beat.rr_s * cfg.fs_hz);
+    if (len <= 0) continue;
+    for (long k = 0; k < len; ++k) {
+      const long idx = start + k;
+      if (idx < 0 || idx >= static_cast<long>(n)) continue;
+      rec.waveform_mv[static_cast<std::size_t>(idx)] +=
+          morph.value_at(static_cast<double>(k) / static_cast<double>(len));
+    }
+    // Ground-truth fiducials at each wave's Gaussian center.
+    static constexpr metrics::FiducialType kTypes[5] = {
+        metrics::FiducialType::kP, metrics::FiducialType::kQ,
+        metrics::FiducialType::kR, metrics::FiducialType::kS,
+        metrics::FiducialType::kT};
+    for (std::size_t w = 0; w < 5; ++w) {
+      if (morph.waves[w].amplitude_mv == 0.0) continue;
+      const long pos =
+          start + static_cast<long>(morph.waves[w].center_frac *
+                                    static_cast<double>(len));
+      if (pos < 0 || pos >= static_cast<long>(n)) continue;
+      rec.truth.push_back(
+          {kTypes[w], static_cast<std::int32_t>(pos), 0});
+      if (kTypes[w] == metrics::FiducialType::kR) {
+        rec.r_locations.push_back(static_cast<std::size_t>(pos));
+      }
+    }
+  }
+
+  // AF: add fibrillatory baseline oscillation (4-8 Hz f-waves).
+  if (cfg.pathology == Pathology::kAtrialFib) {
+    const double f_wave_hz = rng.uniform(4.5, 7.5);
+    const double phase = rng.uniform(0.0, 2.0 * std::numbers::pi);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double t = static_cast<double>(i) / cfg.fs_hz;
+      rec.waveform_mv[i] +=
+          0.05 * std::sin(2.0 * std::numbers::pi * f_wave_hz * t + phase);
+    }
+  }
+
+  add_noise(rec.waveform_mv, cfg.fs_hz, cfg.noise, rng);
+
+  const fixed::AdcModel adc{cfg.adc_full_scale_mv, 0.0};
+  rec.samples = fixed::quantize_waveform(rec.waveform_mv, adc);
+
+  // Fill fiducial amplitudes from the quantized signal.
+  for (auto& f : rec.truth) {
+    f.amplitude = rec.samples[static_cast<std::size_t>(f.position)];
+  }
+  return rec;
+}
+
+}  // namespace ulpdream::ecg

@@ -1,0 +1,29 @@
+#pragma once
+// MIT-BIH-style record database: a reproducible collection of synthetic
+// records spanning the pathology presets. The paper averages each Fig. 2
+// point over "different ECG signals with different pathologies"; this is
+// the corpus those averages run over.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "ulpdream/ecg/generator.hpp"
+
+namespace ulpdream::ecg {
+
+struct DatabaseConfig {
+  std::uint64_t seed = 42;
+  std::size_t records_per_pathology = 2;
+  double fs_hz = 250.0;
+  double duration_s = 8.2;
+};
+
+/// Generates the full corpus: records_per_pathology records for each of the
+/// six pathology presets, each with an independent derived seed.
+[[nodiscard]] std::vector<Record> make_database(const DatabaseConfig& cfg);
+
+/// Convenience: a single default normal-sinus record (quickstart/demos).
+[[nodiscard]] Record make_default_record(std::uint64_t seed = 7);
+
+}  // namespace ulpdream::ecg

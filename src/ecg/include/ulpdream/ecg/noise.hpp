@@ -1,0 +1,27 @@
+#pragma once
+// Additive noise models for realistic ECG acquisition: baseline wander
+// (electrode/respiration drift), powerline interference and broadband EMG.
+// These are the degradations the paper's Morphological Filtering case study
+// exists to clean (Sec. II-4).
+
+#include <cstddef>
+#include <vector>
+
+#include "ulpdream/util/rng.hpp"
+
+namespace ulpdream::ecg {
+
+struct NoiseParams {
+  double baseline_wander_mv = 0.10;  ///< peak amplitude of drift
+  double baseline_freq_hz = 0.30;    ///< dominant drift frequency
+  double powerline_mv = 0.03;        ///< 50 Hz interference amplitude
+  double powerline_freq_hz = 50.0;
+  double emg_std_mv = 0.02;          ///< white muscle-noise sigma
+};
+
+/// Adds all configured noise components, in millivolts, to `signal_mv`
+/// sampled at `fs` Hz. Phases are randomized from `rng`.
+void add_noise(std::vector<double>& signal_mv, double fs,
+               const NoiseParams& p, util::Xoshiro256& rng);
+
+}  // namespace ulpdream::ecg

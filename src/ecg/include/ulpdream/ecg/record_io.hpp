@@ -1,0 +1,25 @@
+#pragma once
+// Record import/export. The synthetic generator substitutes MIT-BIH, but
+// users with PhysioNet access can export a record to CSV (rdsamp-style:
+// one sample value per line, optional "index,value" form) and run every
+// experiment in this library on real traces.
+
+#include <string>
+
+#include "ulpdream/ecg/generator.hpp"
+
+namespace ulpdream::ecg {
+
+/// Writes "index,value" CSV plus a one-line header. Returns false on I/O
+/// failure.
+bool save_record_csv(const Record& record, const std::string& path);
+
+/// Loads a record from CSV. Accepts either "value" or "index,value" rows;
+/// lines starting with '#' and a leading header row are skipped. Values
+/// are clamped to the 16-bit sample range. Throws std::runtime_error when
+/// the file cannot be opened or contains no samples.
+[[nodiscard]] Record load_record_csv(const std::string& path,
+                                     double fs_hz = 250.0,
+                                     const std::string& name = "imported");
+
+}  // namespace ulpdream::ecg

@@ -1,0 +1,33 @@
+#pragma once
+// RR-interval (tachogram) generation: mean heart rate, respiratory sinus
+// arrhythmia, white HRV jitter, and rhythm pathologies (AF irregularity,
+// premature beats).
+
+#include <cstddef>
+#include <vector>
+
+#include "ulpdream/util/rng.hpp"
+
+namespace ulpdream::ecg {
+
+struct RhythmParams {
+  double mean_hr_bpm = 72.0;
+  double hrv_std_frac = 0.03;       ///< white jitter, fraction of mean RR
+  double rsa_depth_frac = 0.04;     ///< respiratory modulation depth
+  double resp_rate_hz = 0.25;       ///< ~15 breaths/min
+  double afib_irregularity = 0.0;   ///< 0 = regular; 0.25 = AF-like
+  double pvc_probability = 0.0;     ///< chance a beat is premature+PVC
+};
+
+struct BeatEvent {
+  double onset_s;      ///< beat onset time in seconds
+  double rr_s;         ///< this beat's RR interval
+  bool is_pvc;         ///< premature ventricular beat
+};
+
+/// Generates beats covering at least `duration_s` seconds.
+[[nodiscard]] std::vector<BeatEvent> generate_rhythm(const RhythmParams& p,
+                                                     double duration_s,
+                                                     util::Xoshiro256& rng);
+
+}  // namespace ulpdream::ecg

@@ -1,0 +1,30 @@
+#include "ulpdream/ecg/noise.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace ulpdream::ecg {
+
+void add_noise(std::vector<double>& signal_mv, double fs,
+               const NoiseParams& p, util::Xoshiro256& rng) {
+  const double phase_bw = rng.uniform(0.0, 2.0 * std::numbers::pi);
+  const double phase_bw2 = rng.uniform(0.0, 2.0 * std::numbers::pi);
+  const double phase_pl = rng.uniform(0.0, 2.0 * std::numbers::pi);
+  for (std::size_t i = 0; i < signal_mv.size(); ++i) {
+    const double t = static_cast<double>(i) / fs;
+    double v = 0.0;
+    // Baseline wander: dominant sinusoid plus a half-frequency component
+    // for a non-periodic looking drift.
+    v += p.baseline_wander_mv *
+         (0.7 * std::sin(2.0 * std::numbers::pi * p.baseline_freq_hz * t +
+                         phase_bw) +
+          0.3 * std::sin(std::numbers::pi * p.baseline_freq_hz * t +
+                         phase_bw2));
+    v += p.powerline_mv *
+         std::sin(2.0 * std::numbers::pi * p.powerline_freq_hz * t + phase_pl);
+    v += rng.gaussian(0.0, p.emg_std_mv);
+    signal_mv[i] += v;
+  }
+}
+
+}  // namespace ulpdream::ecg

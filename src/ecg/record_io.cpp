@@ -1,0 +1,60 @@
+#include "ulpdream/ecg/record_io.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <stdexcept>
+
+namespace ulpdream::ecg {
+
+bool save_record_csv(const Record& record, const std::string& path) {
+  std::ofstream f(path);
+  if (!f) return false;
+  f << "# record=" << record.name << " fs_hz=" << record.fs_hz << '\n';
+  f << "index,value\n";
+  for (std::size_t i = 0; i < record.samples.size(); ++i) {
+    f << i << ',' << record.samples[i] << '\n';
+  }
+  return static_cast<bool>(f);
+}
+
+Record load_record_csv(const std::string& path, double fs_hz,
+                       const std::string& name) {
+  std::ifstream f(path);
+  if (!f) {
+    throw std::runtime_error("load_record_csv: cannot open " + path);
+  }
+  Record rec;
+  rec.name = name;
+  rec.fs_hz = fs_hz;
+  std::string line;
+  while (std::getline(f, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    // Skip a textual header row.
+    bool has_alpha = false;
+    for (const char c : line) {
+      if (std::isalpha(static_cast<unsigned char>(c))) {
+        has_alpha = true;
+        break;
+      }
+    }
+    if (has_alpha) continue;
+    // "value" or "index,value": take the last comma-separated field.
+    const auto comma = line.rfind(',');
+    const std::string field =
+        comma == std::string::npos ? line : line.substr(comma + 1);
+    const long v = std::strtol(field.c_str(), nullptr, 10);
+    rec.samples.push_back(fixed::saturate_sample(v));
+  }
+  if (rec.samples.empty()) {
+    throw std::runtime_error("load_record_csv: no samples in " + path);
+  }
+  rec.waveform_mv.reserve(rec.samples.size());
+  const fixed::AdcModel adc{};
+  for (const auto s : rec.samples) {
+    rec.waveform_mv.push_back(adc.to_mv(s));
+  }
+  return rec;
+}
+
+}  // namespace ulpdream::ecg

@@ -1,0 +1,46 @@
+#include "ulpdream/ecg/rhythm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace ulpdream::ecg {
+
+std::vector<BeatEvent> generate_rhythm(const RhythmParams& p,
+                                       double duration_s,
+                                       util::Xoshiro256& rng) {
+  std::vector<BeatEvent> beats;
+  const double mean_rr = 60.0 / p.mean_hr_bpm;
+  double t = 0.0;
+  bool this_is_pvc = false;
+  while (t < duration_s) {
+    double rr = mean_rr;
+    // Respiratory sinus arrhythmia: sinusoidal modulation at breath rate.
+    rr *= 1.0 + p.rsa_depth_frac *
+                    std::sin(2.0 * std::numbers::pi * p.resp_rate_hz * t);
+    // White HRV jitter.
+    rr *= 1.0 + rng.gaussian(0.0, p.hrv_std_frac);
+    // AF-like gross irregularity: heavy multiplicative uniform spread.
+    if (p.afib_irregularity > 0.0) {
+      rr *= 1.0 + rng.uniform(-p.afib_irregularity, p.afib_irregularity);
+    }
+    // Premature ventricular beats: the *coupling interval into* the PVC is
+    // short, and the PVC is followed by a compensatory pause — the RR
+    // signature heartbeat classifiers key on.
+    bool next_is_pvc = false;
+    if (p.pvc_probability > 0.0 && rng.bernoulli(p.pvc_probability)) {
+      next_is_pvc = true;
+      rr *= 0.70;  // shortened coupling into the upcoming premature beat
+    }
+    if (this_is_pvc) {
+      rr *= 1.30;  // compensatory pause after the PVC
+    }
+    rr = std::clamp(rr, 0.3, 2.5);  // physiologic bounds (24-200 bpm)
+    beats.push_back({t, rr, this_is_pvc});
+    t += rr;
+    this_is_pvc = next_is_pvc;
+  }
+  return beats;
+}
+
+}  // namespace ulpdream::ecg

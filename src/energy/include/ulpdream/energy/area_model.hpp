@@ -1,0 +1,29 @@
+#pragma once
+// Codec area model — substitute for the Synopsys Design Compiler synthesis
+// reports (paper Sec. VI-B): "ECC requires 28% of area overhead for the
+// encoder and 120% for the decoder, compared to those of DREAM". Areas are
+// expressed in gate equivalents (GE, NAND2-equivalent) for a 32 nm
+// library; the paper-relevant outputs are the ratios.
+
+#include "ulpdream/core/emt.hpp"
+
+namespace ulpdream::energy {
+
+struct CodecArea {
+  double encoder_ge = 0.0;
+  double decoder_ge = 0.0;
+
+  [[nodiscard]] double total_ge() const { return encoder_ge + decoder_ge; }
+};
+
+[[nodiscard]] CodecArea codec_area(core::EmtKind kind);
+
+/// Extra memory bits per 16-bit data word (paper Formula 2 / Sec. V):
+/// DREAM 1 + log2(16) = 5, ECC SEC/DED 2 + log2(16) = 6, none 0.
+[[nodiscard]] int extra_bits_per_word(core::EmtKind kind);
+
+/// Memory-array area overhead fraction relative to the unprotected 16-bit
+/// array (cell area proportional to total bits stored per word).
+[[nodiscard]] double memory_area_overhead(core::EmtKind kind);
+
+}  // namespace ulpdream::energy

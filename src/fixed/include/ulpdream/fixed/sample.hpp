@@ -1,0 +1,92 @@
+#pragma once
+// 16-bit sample helpers: the unit of storage in the paper's faulty data
+// memory is a 16-bit integer sample (MIT-BIH style). All applications read
+// and write Sample values; fixed-point multiplies use Q1.15 coefficients
+// with 32-bit accumulation and saturating narrowing.
+
+#include <cstdint>
+#include <vector>
+
+#include "ulpdream/fixed/fixed_point.hpp"
+
+namespace ulpdream::fixed {
+
+using Sample = std::int16_t;
+using SampleVec = std::vector<Sample>;
+using Accum = std::int32_t;
+
+inline constexpr int kSampleBits = 16;
+inline constexpr Sample kSampleMax = 32767;
+inline constexpr Sample kSampleMin = -32768;
+
+/// Saturating narrowing from a 32/64-bit accumulator to a 16-bit sample.
+[[nodiscard]] constexpr Sample saturate_sample(std::int64_t v) noexcept {
+  if (v > kSampleMax) return kSampleMax;
+  if (v < kSampleMin) return kSampleMin;
+  return static_cast<Sample>(v);
+}
+
+/// Multiply a sample by a Q1.15 coefficient, full-precision 32-bit result.
+[[nodiscard]] constexpr Accum mul_q15(Sample s, Q15 coeff) noexcept {
+  return static_cast<Accum>(s) * coeff.raw();
+}
+
+/// Finalizes a sum of mul_q15 products back to sample domain with
+/// round-half-away rounding and saturation.
+[[nodiscard]] constexpr Sample narrow_q15(std::int64_t acc) noexcept {
+  return saturate_sample(rounded_shift_right(acc, 15));
+}
+
+/// Saturating sample addition/subtraction.
+[[nodiscard]] constexpr Sample add_sat(Sample a, Sample b) noexcept {
+  return saturate_sample(static_cast<std::int64_t>(a) + b);
+}
+[[nodiscard]] constexpr Sample sub_sat(Sample a, Sample b) noexcept {
+  return saturate_sample(static_cast<std::int64_t>(a) - b);
+}
+
+/// Number of leading bits (from the MSB down) equal to the sign bit. For a
+/// 16-bit word the result is in [1, 16]; e.g. 0x0001 -> 15, 0xFFFF -> 16,
+/// 0x7FFF -> 1. This is the quantity DREAM's mask-ID logic computes in
+/// hardware on every write.
+[[nodiscard]] constexpr int sign_run_length(Sample s) noexcept {
+  const auto u = static_cast<std::uint16_t>(s);
+  const bool sign = (u & 0x8000u) != 0;
+  int run = 0;
+  for (int bit = 15; bit >= 0; --bit) {
+    const bool b = (u >> bit) & 1u;
+    if (b != sign) break;
+    ++run;
+  }
+  return run;
+}
+
+/// Conversion helpers between physical units (millivolts) and ADC codes.
+/// The ADC model mirrors front-ends used in WBSN nodes: a given full-scale
+/// range mapped linearly onto the signed 16-bit code space.
+struct AdcModel {
+  double full_scale_mv = 5.0;  ///< +/- range in millivolts
+  double offset_mv = 0.0;      ///< front-end DC offset applied before coding
+
+  [[nodiscard]] Sample quantize(double mv) const noexcept {
+    const double code =
+        (mv + offset_mv) / full_scale_mv * static_cast<double>(kSampleMax);
+    const double r = code >= 0.0 ? code + 0.5 : code - 0.5;
+    return saturate_sample(static_cast<std::int64_t>(r));
+  }
+
+  [[nodiscard]] double to_mv(Sample s) const noexcept {
+    return static_cast<double>(s) / static_cast<double>(kSampleMax) *
+               full_scale_mv -
+           offset_mv;
+  }
+};
+
+/// Quantizes a waveform in millivolts to 16-bit codes.
+[[nodiscard]] SampleVec quantize_waveform(const std::vector<double>& mv,
+                                          const AdcModel& adc);
+
+/// Converts a sample vector to doubles (raw code domain) for metric math.
+[[nodiscard]] std::vector<double> to_doubles(const SampleVec& v);
+
+}  // namespace ulpdream::fixed

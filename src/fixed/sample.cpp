@@ -1,0 +1,20 @@
+#include "ulpdream/fixed/sample.hpp"
+
+namespace ulpdream::fixed {
+
+SampleVec quantize_waveform(const std::vector<double>& mv,
+                            const AdcModel& adc) {
+  SampleVec out;
+  out.reserve(mv.size());
+  for (double v : mv) out.push_back(adc.quantize(v));
+  return out;
+}
+
+std::vector<double> to_doubles(const SampleVec& v) {
+  std::vector<double> out;
+  out.reserve(v.size());
+  for (Sample s : v) out.push_back(static_cast<double>(s));
+  return out;
+}
+
+}  // namespace ulpdream::fixed

@@ -1,0 +1,32 @@
+#pragma once
+// Solvers backing the OMP least-squares step: Cholesky on the (always SPD
+// after regularization) Gram matrix, plus a general least-squares helper.
+
+#include <vector>
+
+#include "ulpdream/linalg/matrix.hpp"
+
+namespace ulpdream::linalg {
+
+/// In-place lower Cholesky factorization of an SPD matrix.
+/// Returns false if the matrix is not (numerically) positive definite.
+[[nodiscard]] bool cholesky(Matrix& a);
+
+/// Solves A x = b given a lower-triangular Cholesky factor (forward +
+/// backward substitution).
+[[nodiscard]] std::vector<double> cholesky_solve(const Matrix& chol_lower,
+                                                 const std::vector<double>& b);
+
+/// Solves the dense SPD system A x = b. Throws std::runtime_error if A is
+/// not positive definite even after a small diagonal ridge is applied.
+[[nodiscard]] std::vector<double> solve_spd(Matrix a,
+                                            const std::vector<double>& b);
+
+/// Least squares: minimizes ||M x - y||_2 via normal equations with ridge
+/// regularization `lambda` (suitable for the small, well-conditioned
+/// subproblems inside OMP).
+[[nodiscard]] std::vector<double> least_squares(const Matrix& m,
+                                                const std::vector<double>& y,
+                                                double lambda = 1e-9);
+
+}  // namespace ulpdream::linalg

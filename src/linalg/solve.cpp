@@ -1,0 +1,86 @@
+#include "ulpdream/linalg/solve.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ulpdream::linalg {
+
+bool cholesky(Matrix& a) {
+  const std::size_t n = a.rows();
+  if (a.cols() != n) return false;
+  for (std::size_t j = 0; j < n; ++j) {
+    double diag = a.at(j, j);
+    for (std::size_t k = 0; k < j; ++k) diag -= a.at(j, k) * a.at(j, k);
+    if (diag <= 0.0) return false;
+    const double ljj = std::sqrt(diag);
+    a.at(j, j) = ljj;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double v = a.at(i, j);
+      for (std::size_t k = 0; k < j; ++k) v -= a.at(i, k) * a.at(j, k);
+      a.at(i, j) = v / ljj;
+    }
+    for (std::size_t c = j + 1; c < n; ++c) a.at(j, c) = 0.0;
+  }
+  return true;
+}
+
+std::vector<double> cholesky_solve(const Matrix& l,
+                                   const std::vector<double>& b) {
+  const std::size_t n = l.rows();
+  if (b.size() != n) {
+    throw std::invalid_argument("cholesky_solve: size mismatch");
+  }
+  std::vector<double> y(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = b[i];
+    for (std::size_t k = 0; k < i; ++k) acc -= l.at(i, k) * y[k];
+    y[i] = acc / l.at(i, i);
+  }
+  std::vector<double> x(n, 0.0);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double acc = y[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) acc -= l.at(k, ii) * x[k];
+    x[ii] = acc / l.at(ii, ii);
+  }
+  return x;
+}
+
+std::vector<double> solve_spd(Matrix a, const std::vector<double>& b) {
+  Matrix attempt = a;
+  if (!cholesky(attempt)) {
+    // Retry with a relative ridge before giving up.
+    double trace = 0.0;
+    for (std::size_t i = 0; i < a.rows(); ++i) trace += a.at(i, i);
+    const double ridge =
+        1e-10 * (trace > 0.0 ? trace / static_cast<double>(a.rows()) : 1.0);
+    attempt = a;
+    for (std::size_t i = 0; i < a.rows(); ++i) attempt.at(i, i) += ridge;
+    if (!cholesky(attempt)) {
+      throw std::runtime_error("solve_spd: matrix not positive definite");
+    }
+  }
+  return cholesky_solve(attempt, b);
+}
+
+std::vector<double> least_squares(const Matrix& m,
+                                  const std::vector<double>& y,
+                                  double lambda) {
+  // Normal equations: (M^T M + lambda I) x = M^T y.
+  const std::size_t n = m.cols();
+  Matrix gram(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      double acc = 0.0;
+      for (std::size_t r = 0; r < m.rows(); ++r) {
+        acc += m.at(r, i) * m.at(r, j);
+      }
+      gram.at(i, j) = acc;
+      gram.at(j, i) = acc;
+    }
+    gram.at(i, i) += lambda;
+  }
+  const std::vector<double> rhs = m.multiply_transposed(y);
+  return solve_spd(gram, rhs);
+}
+
+}  // namespace ulpdream::linalg

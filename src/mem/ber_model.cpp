@@ -1,0 +1,47 @@
+#include "ulpdream/mem/ber_model.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ulpdream::mem {
+
+LogLinearBerModel::LogLinearBerModel(double ber_nominal, double ber_min,
+                                     double v_nominal, double v_min)
+    : v_min_(v_min), log_ber_min_(std::log10(ber_min)) {
+  if (!(ber_nominal > 0.0 && ber_min > 0.0 && ber_min <= 1.0)) {
+    throw std::invalid_argument("LogLinearBerModel: BER must be in (0, 1]");
+  }
+  if (!(v_nominal > v_min)) {
+    throw std::invalid_argument("LogLinearBerModel: v_nominal <= v_min");
+  }
+  slope_ = (std::log10(ber_nominal) - log_ber_min_) / (v_nominal - v_min);
+}
+
+double LogLinearBerModel::ber(double v) const {
+  const double log_ber = log_ber_min_ + slope_ * (v - v_min_);
+  const double b = std::pow(10.0, log_ber);
+  return b > 1.0 ? 1.0 : b;
+}
+
+ProbitBerModel::ProbitBerModel(double v50, double sigma)
+    : v50_(v50), sigma_(sigma) {
+  if (sigma <= 0.0) {
+    throw std::invalid_argument("ProbitBerModel: sigma must be positive");
+  }
+}
+
+double ProbitBerModel::ber(double v) const {
+  return 0.5 * std::erfc((v - v50_) / (std::sqrt(2.0) * sigma_));
+}
+
+std::unique_ptr<BerModel> make_ber_model(BerModelKind kind) {
+  switch (kind) {
+    case BerModelKind::kLogLinear:
+      return std::make_unique<LogLinearBerModel>();
+    case BerModelKind::kProbit:
+      return std::make_unique<ProbitBerModel>();
+  }
+  throw std::invalid_argument("unknown BER model kind");
+}
+
+}  // namespace ulpdream::mem

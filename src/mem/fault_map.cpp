@@ -1,0 +1,74 @@
+#include "ulpdream/mem/fault_map.hpp"
+
+#include <bit>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace ulpdream::mem {
+
+FaultMap::FaultMap(std::size_t words, int bits_per_word)
+    : bits_(bits_per_word), faults_(words) {
+  if (bits_per_word <= 0 || bits_per_word > 32) {
+    throw std::invalid_argument("FaultMap: bits_per_word must be in [1, 32]");
+  }
+}
+
+FaultMap FaultMap::random(std::size_t words, int bits_per_word, double ber,
+                          util::Xoshiro256& rng) {
+  FaultMap map(words, bits_per_word);
+  if (ber <= 0.0 || words == 0) return map;
+  const std::uint64_t cells =
+      static_cast<std::uint64_t>(words) * static_cast<std::uint64_t>(bits_per_word);
+  std::uint64_t fault_target = rng.binomial(cells, ber);
+  if (fault_target > cells) fault_target = cells;
+
+  // Place faults at distinct cells. For the BER range we sweep the target
+  // is a small fraction of the cell count, so rejection sampling on a hash
+  // set terminates quickly.
+  std::unordered_set<std::uint64_t> placed;
+  placed.reserve(static_cast<std::size_t>(fault_target) * 2);
+  while (placed.size() < fault_target) {
+    const std::uint64_t cell = rng.bounded(cells);
+    if (!placed.insert(cell).second) continue;
+    const auto word = static_cast<std::size_t>(cell / static_cast<std::uint64_t>(bits_per_word));
+    const auto bit = static_cast<int>(cell % static_cast<std::uint64_t>(bits_per_word));
+    const std::uint32_t bitmask = 1u << bit;
+    map.faults_[word].mask |= bitmask;
+    if (rng.bernoulli(0.5)) {
+      map.faults_[word].value |= bitmask;
+    }
+  }
+  return map;
+}
+
+FaultMap FaultMap::stuck_bit(std::size_t words, int bits_per_word, int bit,
+                             bool value) {
+  if (bit < 0 || bit >= bits_per_word) {
+    throw std::invalid_argument("FaultMap::stuck_bit: bit out of range");
+  }
+  FaultMap map(words, bits_per_word);
+  const std::uint32_t bitmask = 1u << bit;
+  for (auto& wf : map.faults_) {
+    wf.mask = bitmask;
+    wf.value = value ? bitmask : 0u;
+  }
+  return map;
+}
+
+std::size_t FaultMap::fault_count() const noexcept {
+  std::size_t count = 0;
+  for (const auto& wf : faults_) {
+    count += static_cast<std::size_t>(std::popcount(wf.mask));
+  }
+  return count;
+}
+
+std::size_t FaultMap::words_with_at_least(int k) const noexcept {
+  std::size_t count = 0;
+  for (const auto& wf : faults_) {
+    if (std::popcount(wf.mask) >= k) ++count;
+  }
+  return count;
+}
+
+}  // namespace ulpdream::mem

@@ -1,0 +1,71 @@
+#pragma once
+// Permanent (stuck-at) fault maps. A fault map assigns each word a set of
+// stuck bit positions and the value each is stuck at; the memory model
+// applies them on every read (equivalent to cells ignoring writes).
+//
+// Two generators mirror the paper's two experiments:
+//  - random(): i.i.d. cell faults at a given BER — one fresh map per
+//    Monte-Carlo run (Sec. V: "a different random fault-location map for
+//    every run", justified by logical/physical address randomization);
+//  - stuck_bit(): the deterministic Fig. 2 characterization pattern — one
+//    chosen data-bit position stuck at 0 or 1 in *every* word.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "ulpdream/util/rng.hpp"
+
+namespace ulpdream::mem {
+
+/// Per-word stuck-at description: bit i is stuck iff mask bit i is set,
+/// and then reads as the corresponding bit of `value`.
+struct WordFaults {
+  std::uint32_t mask = 0;
+  std::uint32_t value = 0;
+
+  /// Applies the faults to stored bits.
+  [[nodiscard]] constexpr std::uint32_t apply(std::uint32_t stored) const {
+    return (stored & ~mask) | (value & mask);
+  }
+};
+
+class FaultMap {
+ public:
+  FaultMap() = default;
+  FaultMap(std::size_t words, int bits_per_word);
+
+  /// Monte-Carlo map: each of the words*bits cells is independently stuck
+  /// with probability `ber` (sampled via a binomial draw of the total
+  /// fault count followed by uniform placement, which is exact and much
+  /// faster than per-cell Bernoulli at our sizes). Stuck values are
+  /// fair-coin 0/1.
+  [[nodiscard]] static FaultMap random(std::size_t words, int bits_per_word,
+                                       double ber, util::Xoshiro256& rng);
+
+  /// Fig. 2 pattern: `bit` stuck at `value` in every word.
+  [[nodiscard]] static FaultMap stuck_bit(std::size_t words,
+                                          int bits_per_word, int bit,
+                                          bool value);
+
+  [[nodiscard]] std::size_t words() const noexcept { return faults_.size(); }
+  [[nodiscard]] int bits_per_word() const noexcept { return bits_; }
+
+  [[nodiscard]] const WordFaults& at(std::size_t word) const {
+    return faults_.at(word);
+  }
+  [[nodiscard]] WordFaults& at(std::size_t word) { return faults_.at(word); }
+
+  /// Total number of stuck cells in the map.
+  [[nodiscard]] std::size_t fault_count() const noexcept;
+
+  /// Number of words with at least `k` stuck cells (diagnostic used to
+  /// predict where ECC SEC/DED starts failing).
+  [[nodiscard]] std::size_t words_with_at_least(int k) const noexcept;
+
+ private:
+  int bits_ = 0;
+  std::vector<WordFaults> faults_;
+};
+
+}  // namespace ulpdream::mem

@@ -1,0 +1,107 @@
+#pragma once
+// The INYU-style banked data memory model (VirtualSOC substitute, see
+// DESIGN.md). A 32 kB shared memory organized as 16 banks behind a
+// crossbar, accessed word-at-a-time at 200 MHz. The data array can be
+// voltage-scaled and therefore carries a stuck-at fault map; the small
+// side array used by DREAM for mask IDs always runs at nominal voltage and
+// is error-free by construction.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "ulpdream/mem/fault_map.hpp"
+
+namespace ulpdream::mem {
+
+/// Geometry defaults taken from the paper's experimental setup (Sec. V).
+struct MemoryGeometry {
+  static constexpr std::size_t kBytes = 32 * 1024;
+  static constexpr std::size_t kWords16 = kBytes / 2;  ///< 16384 words
+  static constexpr int kBanks = 16;
+  static constexpr double kClockHz = 200e6;
+};
+
+/// Read/write counters, total and per bank — the access traces the energy
+/// model integrates over.
+struct AccessStats {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::vector<std::uint64_t> bank_reads;
+  std::vector<std::uint64_t> bank_writes;
+
+  void reset(std::size_t banks);
+  [[nodiscard]] std::uint64_t total() const noexcept { return reads + writes; }
+};
+
+/// Word-addressable memory with configurable word width (16 data bits plus
+/// any EMT check bits stored in the scaled array), banking, an optional
+/// stuck-at fault map and an optional logical->physical address scrambler.
+class FaultyMemory {
+ public:
+  FaultyMemory(std::size_t words, int width_bits,
+               int banks = MemoryGeometry::kBanks);
+
+  [[nodiscard]] std::size_t words() const noexcept { return store_.size(); }
+  [[nodiscard]] int width_bits() const noexcept { return width_; }
+  [[nodiscard]] int banks() const noexcept { return banks_; }
+
+  /// Attaches (non-owning) a fault map; pass nullptr to clear. The map's
+  /// word count and width must cover this memory.
+  void attach_faults(const FaultMap* map);
+
+  /// Enables logical->physical address scrambling with the given seed
+  /// (0 disables). Scrambling randomizes which logical word lands on which
+  /// physical (possibly faulty) row — the paper's Sec. V randomization.
+  void set_scrambler(std::uint64_t seed);
+
+  void write(std::size_t addr, std::uint32_t bits);
+  [[nodiscard]] std::uint32_t read(std::size_t addr) const;
+
+  /// Bits as physically stored (after stuck-at application), for tests.
+  [[nodiscard]] std::uint32_t peek_physical(std::size_t addr) const;
+
+  void fill(std::uint32_t bits);
+
+  [[nodiscard]] const AccessStats& stats() const noexcept { return stats_; }
+  void reset_stats();
+
+ private:
+  [[nodiscard]] std::size_t physical(std::size_t logical) const;
+  [[nodiscard]] int bank_of(std::size_t phys) const noexcept {
+    return static_cast<int>(phys % static_cast<std::size_t>(banks_));
+  }
+
+  int width_ = 16;
+  int banks_ = MemoryGeometry::kBanks;
+  std::uint32_t width_mask_ = 0xFFFFu;
+  std::vector<std::uint32_t> store_;
+  const FaultMap* faults_ = nullptr;
+  std::uint64_t scramble_mul_ = 1;  ///< odd multiplier (identity when 1, add 0)
+  std::uint64_t scramble_add_ = 0;
+  mutable AccessStats stats_;
+};
+
+/// Error-free side memory (always at nominal voltage): DREAM's mask-ID and
+/// sign-bit store. Narrow words (<= 16 bits).
+class SafeMemory {
+ public:
+  SafeMemory(std::size_t words, int width_bits);
+
+  [[nodiscard]] std::size_t words() const noexcept { return store_.size(); }
+  [[nodiscard]] int width_bits() const noexcept { return width_; }
+
+  void write(std::size_t addr, std::uint16_t bits);
+  [[nodiscard]] std::uint16_t read(std::size_t addr) const;
+
+  [[nodiscard]] const AccessStats& stats() const noexcept { return stats_; }
+  void reset_stats();
+
+ private:
+  int width_;
+  std::uint16_t width_mask_;
+  std::vector<std::uint16_t> store_;
+  mutable AccessStats stats_;
+};
+
+}  // namespace ulpdream::mem

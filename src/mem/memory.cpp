@@ -1,0 +1,114 @@
+#include "ulpdream/mem/memory.hpp"
+
+#include <stdexcept>
+
+#include "ulpdream/util/rng.hpp"
+
+namespace ulpdream::mem {
+
+void AccessStats::reset(std::size_t banks) {
+  reads = 0;
+  writes = 0;
+  bank_reads.assign(banks, 0);
+  bank_writes.assign(banks, 0);
+}
+
+FaultyMemory::FaultyMemory(std::size_t words, int width_bits, int banks)
+    : width_(width_bits), banks_(banks), store_(words, 0) {
+  if (width_bits <= 0 || width_bits > 32) {
+    throw std::invalid_argument("FaultyMemory: width must be in [1, 32]");
+  }
+  if (banks <= 0) {
+    throw std::invalid_argument("FaultyMemory: banks must be positive");
+  }
+  width_mask_ = width_bits == 32 ? 0xFFFFFFFFu : ((1u << width_bits) - 1u);
+  stats_.reset(static_cast<std::size_t>(banks));
+}
+
+void FaultyMemory::attach_faults(const FaultMap* map) {
+  if (map != nullptr) {
+    if (map->words() < store_.size() || map->bits_per_word() < width_) {
+      throw std::invalid_argument(
+          "FaultyMemory: fault map does not cover this memory");
+    }
+  }
+  faults_ = map;
+}
+
+void FaultyMemory::set_scrambler(std::uint64_t seed) {
+  if (seed == 0) {
+    scramble_mul_ = 1;
+    scramble_add_ = 0;
+    return;
+  }
+  // Affine permutation over the word index space. For power-of-two sizes
+  // any odd multiplier is a bijection mod 2^k; we also fold in an additive
+  // offset so the identity row 0 moves too.
+  util::SplitMix64 sm(seed);
+  scramble_mul_ = sm.next() | 1u;
+  scramble_add_ = sm.next();
+}
+
+std::size_t FaultyMemory::physical(std::size_t logical) const {
+  if (scramble_mul_ == 1 && scramble_add_ == 0) return logical;
+  const std::uint64_t n = store_.size();
+  return static_cast<std::size_t>(
+      (static_cast<std::uint64_t>(logical) * scramble_mul_ + scramble_add_) %
+      n);
+}
+
+void FaultyMemory::write(std::size_t addr, std::uint32_t bits) {
+  const std::size_t phys = physical(addr);
+  store_.at(phys) = bits & width_mask_;
+  ++stats_.writes;
+  ++stats_.bank_writes[static_cast<std::size_t>(bank_of(phys))];
+}
+
+std::uint32_t FaultyMemory::read(std::size_t addr) const {
+  const std::size_t phys = physical(addr);
+  std::uint32_t bits = store_.at(phys);
+  if (faults_ != nullptr) bits = faults_->at(phys).apply(bits);
+  ++stats_.reads;
+  ++stats_.bank_reads[static_cast<std::size_t>(bank_of(phys))];
+  return bits & width_mask_;
+}
+
+std::uint32_t FaultyMemory::peek_physical(std::size_t addr) const {
+  const std::size_t phys = physical(addr);
+  std::uint32_t bits = store_.at(phys);
+  if (faults_ != nullptr) bits = faults_->at(phys).apply(bits);
+  return bits & width_mask_;
+}
+
+void FaultyMemory::fill(std::uint32_t bits) {
+  for (auto& w : store_) w = bits & width_mask_;
+}
+
+void FaultyMemory::reset_stats() {
+  stats_.reset(static_cast<std::size_t>(banks_));
+}
+
+SafeMemory::SafeMemory(std::size_t words, int width_bits)
+    : width_(width_bits), store_(words, 0) {
+  if (width_bits <= 0 || width_bits > 16) {
+    throw std::invalid_argument("SafeMemory: width must be in [1, 16]");
+  }
+  width_mask_ = static_cast<std::uint16_t>((1u << width_bits) - 1u);
+  stats_.reset(1);
+}
+
+void SafeMemory::write(std::size_t addr, std::uint16_t bits) {
+  store_.at(addr) = bits & width_mask_;
+  ++stats_.writes;
+  ++stats_.bank_writes[0];
+}
+
+std::uint16_t SafeMemory::read(std::size_t addr) const {
+  ++stats_.reads;
+  ++stats_.bank_reads[0];
+  return store_.at(addr);
+}
+
+void SafeMemory::reset_stats() { stats_.reset(1); }
+
+}  // namespace ulpdream::mem

@@ -1,0 +1,53 @@
+#include "ulpdream/metrics/delineation_score.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace ulpdream::metrics {
+
+MatchScore match_fiducials(const FiducialList& reference,
+                           const FiducialList& detected,
+                           std::int32_t tolerance) {
+  MatchScore score;
+  std::vector<bool> used(detected.size(), false);
+  for (const auto& ref : reference) {
+    std::size_t best = detected.size();
+    std::int32_t best_dist = tolerance + 1;
+    for (std::size_t i = 0; i < detected.size(); ++i) {
+      if (used[i] || detected[i].type != ref.type) continue;
+      const std::int32_t dist = std::abs(detected[i].position - ref.position);
+      if (dist < best_dist) {
+        best_dist = dist;
+        best = i;
+      }
+    }
+    if (best < detected.size()) {
+      used[best] = true;
+      ++score.true_positive;
+    } else {
+      ++score.false_negative;
+    }
+  }
+  for (std::size_t i = 0; i < detected.size(); ++i) {
+    if (!used[i]) ++score.false_positive;
+  }
+  return score;
+}
+
+std::vector<double> flatten_fiducials(const FiducialList& list,
+                                      std::size_t slots) {
+  FiducialList sorted = list;
+  std::sort(sorted.begin(), sorted.end(), [](const auto& a, const auto& b) {
+    if (a.position != b.position) return a.position < b.position;
+    return static_cast<int>(a.type) < static_cast<int>(b.type);
+  });
+  std::vector<double> out(2 * slots, 0.0);
+  const std::size_t n = std::min(slots, sorted.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    out[2 * i] = static_cast<double>(sorted[i].position);
+    out[2 * i + 1] = static_cast<double>(sorted[i].amplitude);
+  }
+  return out;
+}
+
+}  // namespace ulpdream::metrics

@@ -1,0 +1,57 @@
+#pragma once
+// Scoring for wavelet delineation output: the application emits fiducial
+// points (P, Q, R, S, T). Clinically the standard scores are sensitivity
+// and positive predictive value within a tolerance window; we additionally
+// flatten the annotations into a numeric vector so the paper's SNR metric
+// can be applied uniformly across all five applications.
+
+#include <cstdint>
+#include <vector>
+
+#include "ulpdream/fixed/sample.hpp"
+
+namespace ulpdream::metrics {
+
+enum class FiducialType : std::uint8_t { kP = 0, kQ, kR, kS, kT };
+
+struct Fiducial {
+  FiducialType type;
+  std::int32_t position;   ///< sample index in the record
+  fixed::Sample amplitude; ///< signal value at the fiducial point
+};
+
+using FiducialList = std::vector<Fiducial>;
+
+struct MatchScore {
+  std::size_t true_positive = 0;
+  std::size_t false_negative = 0;
+  std::size_t false_positive = 0;
+
+  [[nodiscard]] double sensitivity() const noexcept {
+    const auto den = true_positive + false_negative;
+    return den ? static_cast<double>(true_positive) / den : 1.0;
+  }
+  [[nodiscard]] double ppv() const noexcept {
+    const auto den = true_positive + false_positive;
+    return den ? static_cast<double>(true_positive) / den : 1.0;
+  }
+  [[nodiscard]] double f1() const noexcept {
+    const double s = sensitivity();
+    const double p = ppv();
+    return (s + p) > 0.0 ? 2.0 * s * p / (s + p) : 0.0;
+  }
+};
+
+/// Greedy one-to-one matching of detected vs reference fiducials of the
+/// same type within `tolerance` samples.
+[[nodiscard]] MatchScore match_fiducials(const FiducialList& reference,
+                                         const FiducialList& detected,
+                                         std::int32_t tolerance);
+
+/// Flattens annotations to a fixed-length numeric vector (position and
+/// amplitude interleaved, padded/truncated to `slots` entries) so Formula 1
+/// SNR applies. Order is normalized by (position, type).
+[[nodiscard]] std::vector<double> flatten_fiducials(const FiducialList& list,
+                                                    std::size_t slots);
+
+}  // namespace ulpdream::metrics

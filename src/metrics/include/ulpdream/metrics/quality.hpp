@@ -1,0 +1,48 @@
+#pragma once
+// Output-quality metrics. SNR follows the paper's Formula 1 exactly:
+//   SNR = 20 * log10( sqrt(mean(x_theo^2)) / sqrt(MSE) )
+// with MSE the mean squared difference between the error-free (theoretical)
+// and corrupted (experimental) outputs.
+
+#include <vector>
+
+#include "ulpdream/fixed/sample.hpp"
+
+namespace ulpdream::metrics {
+
+/// SNR value used when the corrupted output is bit-identical to the
+/// reference (MSE == 0). The paper plots a finite "maximum SNR" dashed
+/// line; we clamp to this ceiling so averages stay finite.
+inline constexpr double kSnrCeilingDb = 120.0;
+
+/// Mean squared error between reference and experimental vectors.
+/// Precondition: equal, non-zero sizes.
+[[nodiscard]] double mse(const std::vector<double>& theo,
+                         const std::vector<double>& exp);
+
+/// Paper Formula 1. Returns kSnrCeilingDb when MSE is zero and
+/// -kSnrCeilingDb when the reference signal is identically zero with a
+/// non-zero error (degenerate but must not NaN).
+[[nodiscard]] double snr_db(const std::vector<double>& theo,
+                            const std::vector<double>& exp);
+
+/// Convenience overloads on 16-bit sample buffers.
+[[nodiscard]] double mse(const fixed::SampleVec& theo,
+                         const fixed::SampleVec& exp);
+[[nodiscard]] double snr_db(const fixed::SampleVec& theo,
+                            const fixed::SampleVec& exp);
+
+/// Root-mean-square of a vector.
+[[nodiscard]] double rms(const std::vector<double>& v);
+
+/// Percentage root-mean-square difference — the standard ECG compression
+/// quality metric (used by the CS literature the paper builds on).
+/// PRD = 100 * ||theo - exp|| / ||theo||.
+[[nodiscard]] double prd_percent(const std::vector<double>& theo,
+                                 const std::vector<double>& exp);
+
+/// Peak SNR over the 16-bit code space (auxiliary diagnostic).
+[[nodiscard]] double psnr_db(const std::vector<double>& theo,
+                             const std::vector<double>& exp);
+
+}  // namespace ulpdream::metrics

@@ -1,0 +1,71 @@
+#include "ulpdream/signal/fir.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace ulpdream::signal {
+
+namespace {
+
+std::vector<double> windowed_sinc(double cutoff, std::size_t taps) {
+  if (!(cutoff > 0.0 && cutoff < 0.5)) {
+    throw std::invalid_argument("design: cutoff must be in (0, 0.5)");
+  }
+  if (taps % 2 == 0 || taps < 3) {
+    throw std::invalid_argument("design: taps must be odd and >= 3");
+  }
+  const auto m = static_cast<double>(taps - 1);
+  std::vector<double> h(taps);
+  for (std::size_t i = 0; i < taps; ++i) {
+    const double n = static_cast<double>(i) - m / 2.0;
+    const double sinc =
+        n == 0.0 ? 2.0 * cutoff
+                 : std::sin(2.0 * std::numbers::pi * cutoff * n) /
+                       (std::numbers::pi * n);
+    const double hamming =
+        0.54 - 0.46 * std::cos(2.0 * std::numbers::pi *
+                               static_cast<double>(i) / m);
+    h[i] = sinc * hamming;
+  }
+  // Normalize DC gain to exactly 1.
+  double sum = 0.0;
+  for (double v : h) sum += v;
+  for (double& v : h) v /= sum;
+  return h;
+}
+
+}  // namespace
+
+TapVec quantize_taps(const std::vector<double>& taps) {
+  // Scale so the largest magnitude fits Q1.15 and positive DC gain stays
+  // below 1 to avoid accumulation overflow for full-scale DC input.
+  double max_abs = 0.0;
+  double pos_sum = 0.0;
+  for (double t : taps) {
+    max_abs = std::max(max_abs, std::fabs(t));
+    pos_sum += std::fabs(t);
+  }
+  double scale = 1.0;
+  if (max_abs >= 1.0) scale = 0.999 / max_abs;
+  (void)pos_sum;  // gain >1 is acceptable: the kernel accumulates in 64-bit
+                  // and saturates on narrowing.
+  TapVec out;
+  out.reserve(taps.size());
+  for (double t : taps) out.push_back(fixed::Q15::from_double(t * scale));
+  return out;
+}
+
+TapVec design_lowpass(double cutoff, std::size_t taps) {
+  return quantize_taps(windowed_sinc(cutoff, taps));
+}
+
+TapVec design_highpass(double cutoff, std::size_t taps) {
+  std::vector<double> h = windowed_sinc(cutoff, taps);
+  // Spectral inversion: delta at center minus low-pass.
+  for (double& v : h) v = -v;
+  h[taps / 2] += 1.0;
+  return quantize_taps(h);
+}
+
+}  // namespace ulpdream::signal

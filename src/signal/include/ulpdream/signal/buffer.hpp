@@ -1,0 +1,62 @@
+#pragma once
+// Buffer abstraction shared by every DSP kernel. The paper's experiments
+// route *all* application data (input, intermediate and output buffers)
+// through the under-powered data memory; kernels therefore never touch raw
+// arrays — they are templated on a SampleBuffer, which is either a plain
+// in-core vector (tests, reference runs) or a faulty-memory-backed buffer
+// (experiments). Every get/set on the latter traverses the EMT codec and
+// fault-injection path and is counted for energy.
+
+#include <concepts>
+#include <cstddef>
+
+#include "ulpdream/fixed/sample.hpp"
+
+namespace ulpdream::signal {
+
+template <typename B>
+concept SampleBuffer = requires(B& b, const B& cb, std::size_t i,
+                                fixed::Sample s) {
+  { cb.get(i) } -> std::convertible_to<fixed::Sample>;
+  { b.set(i, s) };
+  { cb.size() } -> std::convertible_to<std::size_t>;
+};
+
+/// Plain in-core buffer: adapter over a SampleVec. Used for unit tests and
+/// for golden-reference computation outside the memory simulator.
+class VecBuffer {
+ public:
+  VecBuffer() = default;
+  explicit VecBuffer(std::size_t n) : data_(n, 0) {}
+  explicit VecBuffer(fixed::SampleVec data) : data_(std::move(data)) {}
+
+  [[nodiscard]] fixed::Sample get(std::size_t i) const { return data_.at(i); }
+  void set(std::size_t i, fixed::Sample s) { data_.at(i) = s; }
+  [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
+
+  [[nodiscard]] const fixed::SampleVec& vec() const noexcept { return data_; }
+  [[nodiscard]] fixed::SampleVec& vec() noexcept { return data_; }
+
+ private:
+  fixed::SampleVec data_;
+};
+
+static_assert(SampleBuffer<VecBuffer>);
+
+/// Copies a SampleVec into any SampleBuffer.
+template <SampleBuffer B>
+void load(B& buf, const fixed::SampleVec& src) {
+  for (std::size_t i = 0; i < src.size() && i < buf.size(); ++i) {
+    buf.set(i, src[i]);
+  }
+}
+
+/// Reads a SampleBuffer range [0, n) back into a SampleVec.
+template <SampleBuffer B>
+[[nodiscard]] fixed::SampleVec store(const B& buf, std::size_t n) {
+  fixed::SampleVec out(n);
+  for (std::size_t i = 0; i < n; ++i) out[i] = buf.get(i);
+  return out;
+}
+
+}  // namespace ulpdream::signal

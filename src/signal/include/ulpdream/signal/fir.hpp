@@ -1,0 +1,76 @@
+#pragma once
+// FIR filtering: coefficient design (windowed-sinc low/high-pass) plus the
+// fixed-point convolution kernel templated on SampleBuffer. Border policy
+// is symmetric extension, the usual choice in biosignal front-ends because
+// it avoids step transients at window edges.
+
+#include <cstddef>
+#include <vector>
+
+#include "ulpdream/fixed/fixed_point.hpp"
+#include "ulpdream/fixed/sample.hpp"
+#include "ulpdream/signal/buffer.hpp"
+
+namespace ulpdream::signal {
+
+/// Q1.15 coefficient taps.
+using TapVec = std::vector<fixed::Q15>;
+
+/// Designs a low-pass windowed-sinc (Hamming) FIR.
+/// `cutoff` is the normalized cutoff in (0, 0.5) (fraction of sample rate),
+/// `taps` must be odd for a symmetric (linear-phase) filter.
+[[nodiscard]] TapVec design_lowpass(double cutoff, std::size_t taps);
+
+/// High-pass by spectral inversion of the matching low-pass.
+[[nodiscard]] TapVec design_highpass(double cutoff, std::size_t taps);
+
+/// Quantizes double taps to Q1.15, normalizing DC gain to <= 1 so the sum
+/// of taps cannot overflow the coefficient format.
+[[nodiscard]] TapVec quantize_taps(const std::vector<double>& taps);
+
+/// Symmetric-extension index mapping: reflects i into [0, n).
+[[nodiscard]] constexpr std::size_t reflect_index(long i, std::size_t n) {
+  const long len = static_cast<long>(n);
+  if (len <= 1) return 0;
+  long idx = i;
+  // Mirror without repeating the edge sample (whole-point symmetry),
+  // applied iteratively for far out-of-range indices.
+  while (idx < 0 || idx >= len) {
+    if (idx < 0) idx = -idx;
+    if (idx >= len) idx = 2 * (len - 1) - idx;
+  }
+  return static_cast<std::size_t>(idx);
+}
+
+/// out[i] = sum_k taps[k] * in[i - k + center], fixed point with 64-bit
+/// accumulation and saturating narrowing. `in` and `out` may not alias.
+template <SampleBuffer In, SampleBuffer Out>
+void fir_apply(const In& in, Out& out, const TapVec& taps, std::size_t n) {
+  const long center = static_cast<long>(taps.size() / 2);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::int64_t acc = 0;
+    for (std::size_t k = 0; k < taps.size(); ++k) {
+      const long src = static_cast<long>(i) - static_cast<long>(k) + center;
+      const fixed::Sample s = in.get(reflect_index(src, n));
+      acc += fixed::mul_q15(s, taps[k]);
+    }
+    out.set(i, fixed::narrow_q15(acc));
+  }
+}
+
+/// Moving-average smoother (box filter) used by the delineator's baseline
+/// estimate; width w, same border policy.
+template <SampleBuffer In, SampleBuffer Out>
+void moving_average(const In& in, Out& out, std::size_t w, std::size_t n) {
+  if (w == 0) w = 1;
+  const long half = static_cast<long>(w / 2);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::int64_t acc = 0;
+    for (long k = -half; k <= half; ++k) {
+      acc += in.get(reflect_index(static_cast<long>(i) + k, n));
+    }
+    out.set(i, fixed::saturate_sample(acc / static_cast<long>(2 * half + 1)));
+  }
+}
+
+}  // namespace ulpdream::signal

@@ -1,0 +1,67 @@
+#pragma once
+// 1-D grayscale morphology with flat structuring elements — the substrate
+// of the paper's Morphological Filtering application (baseline-wander and
+// impulse-noise removal on raw ECG, per Sec. II-4). All kernels are
+// templated on SampleBuffer so the experiment versions run through the
+// faulty memory. Border policy: clamp to edge (standard for morphology).
+
+#include <algorithm>
+#include <cstddef>
+
+#include "ulpdream/fixed/sample.hpp"
+#include "ulpdream/signal/buffer.hpp"
+
+namespace ulpdream::signal {
+
+namespace detail {
+template <SampleBuffer B>
+[[nodiscard]] fixed::Sample clamped_get(const B& b, long i, std::size_t n) {
+  if (i < 0) i = 0;
+  if (i >= static_cast<long>(n)) i = static_cast<long>(n) - 1;
+  return b.get(static_cast<std::size_t>(i));
+}
+}  // namespace detail
+
+/// Erosion: out[i] = min over the window of half-width `half`.
+template <SampleBuffer In, SampleBuffer Out>
+void erode(const In& in, Out& out, std::size_t half, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    fixed::Sample best = fixed::kSampleMax;
+    for (long k = -static_cast<long>(half); k <= static_cast<long>(half);
+         ++k) {
+      best = std::min(best,
+                      detail::clamped_get(in, static_cast<long>(i) + k, n));
+    }
+    out.set(i, best);
+  }
+}
+
+/// Dilation: out[i] = max over the window.
+template <SampleBuffer In, SampleBuffer Out>
+void dilate(const In& in, Out& out, std::size_t half, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    fixed::Sample best = fixed::kSampleMin;
+    for (long k = -static_cast<long>(half); k <= static_cast<long>(half);
+         ++k) {
+      best = std::max(best,
+                      detail::clamped_get(in, static_cast<long>(i) + k, n));
+    }
+    out.set(i, best);
+  }
+}
+
+/// Opening = erosion then dilation (removes positive impulses).
+template <SampleBuffer In, SampleBuffer Tmp, SampleBuffer Out>
+void open(const In& in, Tmp& tmp, Out& out, std::size_t half, std::size_t n) {
+  erode(in, tmp, half, n);
+  dilate(tmp, out, half, n);
+}
+
+/// Closing = dilation then erosion (removes negative impulses).
+template <SampleBuffer In, SampleBuffer Tmp, SampleBuffer Out>
+void close(const In& in, Tmp& tmp, Out& out, std::size_t half, std::size_t n) {
+  dilate(in, tmp, half, n);
+  erode(tmp, out, half, n);
+}
+
+}  // namespace ulpdream::signal

@@ -1,0 +1,38 @@
+#pragma once
+// Fig. 2 experiment: bit-significance characterization. For each data-bit
+// position 0..15 and each stuck value (0, 1), every word of the
+// application's data memory has that bit stuck; output SNR is averaged
+// over a corpus of records with different pathologies. No EMT is applied —
+// this is the pre-DREAM characterization of Sec. III.
+
+#include <array>
+#include <vector>
+
+#include "ulpdream/apps/app.hpp"
+#include "ulpdream/sim/runner.hpp"
+
+namespace ulpdream::sim {
+
+struct BitSignificanceResult {
+  apps::AppKind app;
+  /// snr_db[polarity][bit]: polarity 0 = stuck-at-0, 1 = stuck-at-1.
+  std::array<std::array<double, 16>, 2> snr_db{};
+  /// Highest bit position (scanning LSB up) still meeting `tolerance_db`
+  /// below the app's max SNR, per polarity; -1 if none.
+  std::array<int, 2> tolerated_up_to{};
+  double max_snr_db = 0.0;
+};
+
+struct BitSignificanceConfig {
+  /// Quality requirement for the "tolerated up to bit k" summary. The
+  /// paper uses CS's 35 dB requirement; for cross-app comparability we
+  /// evaluate a drop of `tolerance_drop_db` below each app's ceiling.
+  double tolerance_drop_db = 3.0;
+};
+
+[[nodiscard]] BitSignificanceResult run_bit_significance(
+    ExperimentRunner& runner, const apps::BioApp& app,
+    const std::vector<ecg::Record>& records,
+    const BitSignificanceConfig& cfg = {});
+
+}  // namespace ulpdream::sim

@@ -1,0 +1,69 @@
+#pragma once
+// Fig. 4 + Sec. VI-B experiment: Monte-Carlo voltage sweep. For every
+// supply point, `runs` random fault maps are drawn at BER(V); each map is
+// reused across all EMTs and applications at that point ("all the EMTs are
+// tested reusing the same set of error locations/mappings", Sec. V).
+// Outputs per (app, EMT, V): mean SNR with spread, mean energy breakdown,
+// and codec correction statistics.
+
+#include <cstdint>
+#include <vector>
+
+#include "ulpdream/apps/app.hpp"
+#include "ulpdream/mem/ber_model.hpp"
+#include "ulpdream/sim/runner.hpp"
+#include "ulpdream/util/stats.hpp"
+
+namespace ulpdream::sim {
+
+struct SweepConfig {
+  std::vector<double> voltages;      ///< default: 0.50 .. 0.90 step 0.05
+  std::size_t runs = 200;            ///< Monte-Carlo maps per point (paper)
+  std::uint64_t seed = 2016;
+  mem::BerModelKind ber_model = mem::BerModelKind::kLogLinear;
+  std::vector<core::EmtKind> emts;   ///< default: none, DREAM, ECC
+  bool scramble_addresses = false;   ///< D3 ablation knob
+
+  [[nodiscard]] static SweepConfig defaults();
+};
+
+struct SweepPoint {
+  apps::AppKind app;
+  core::EmtKind emt;
+  double voltage = 0.0;
+  double ber = 0.0;
+  double snr_mean_db = 0.0;
+  double snr_stddev_db = 0.0;
+  double snr_min_db = 0.0;
+  /// 10th-percentile SNR across the Monte-Carlo runs: the "reliable
+  /// medical output" statistic (90% of runs do at least this well).
+  double snr_p10_db = 0.0;
+  double energy_mean_j = 0.0;
+  energy::EnergyBreakdown energy_mean{};
+  double corrected_words_mean = 0.0;
+  double detected_uncorrectable_mean = 0.0;
+};
+
+struct SweepResult {
+  SweepConfig config;
+  double max_snr_db = 0.0;  ///< per-app dashed line (clean fixed vs golden)
+  std::vector<SweepPoint> points;
+
+  [[nodiscard]] const SweepPoint* find(core::EmtKind emt, double v) const;
+};
+
+/// Runs the sweep for one application over one record.
+[[nodiscard]] SweepResult run_voltage_sweep(ExperimentRunner& runner,
+                                            const apps::BioApp& app,
+                                            const ecg::Record& record,
+                                            const SweepConfig& cfg);
+
+/// Multi-app variant sharing fault maps across apps and EMTs per
+/// (voltage, run) — the exact fairness protocol of Sec. V. Returns one
+/// SweepResult per app, in the order given.
+[[nodiscard]] std::vector<SweepResult> run_voltage_sweep_multi(
+    ExperimentRunner& runner,
+    const std::vector<const apps::BioApp*>& app_list,
+    const ecg::Record& record, const SweepConfig& cfg);
+
+}  // namespace ulpdream::sim

@@ -1,0 +1,91 @@
+#include "ulpdream/sim/policy_explorer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ulpdream::sim {
+
+PolicyResult explore_policy(const SweepResult& sweep, double threshold_db,
+                            QualityCriterion criterion,
+                            QualityStatistic statistic) {
+  PolicyResult result;
+  result.tolerance_db = threshold_db;
+  result.required_snr_db = criterion == QualityCriterion::kRelativeDrop
+                               ? sweep.max_snr_db - threshold_db
+                               : threshold_db;
+  const auto quality = [statistic](const SweepPoint& p) {
+    return statistic == QualityStatistic::kMean ? p.snr_mean_db
+                                                : p.snr_p10_db;
+  };
+
+  const SweepPoint* nominal =
+      sweep.find(core::EmtKind::kNone, mem::VoltageWindow::kNominal);
+  if (nominal == nullptr) {
+    throw std::invalid_argument(
+        "explore_policy: sweep lacks the nominal unprotected point");
+  }
+  result.nominal_energy_j = nominal->energy_mean_j;
+
+  // Sorted voltage grid (ascending).
+  std::vector<double> voltages = sweep.config.voltages;
+  std::sort(voltages.begin(), voltages.end());
+
+  for (core::EmtKind emt : sweep.config.emts) {
+    EmtOperatingPoint op;
+    op.emt = emt;
+    // Deepest voltage such that SNR stays within tolerance at that point
+    // and at every shallower point (monotone safety: the policy sweeps the
+    // voltage through the range).
+    bool all_above = true;
+    for (auto it = voltages.rbegin(); it != voltages.rend(); ++it) {
+      const SweepPoint* p = sweep.find(emt, *it);
+      if (p == nullptr) continue;
+      all_above = all_above && (quality(*p) >= result.required_snr_db);
+      if (all_above) {
+        op.min_safe_voltage = *it;
+        op.snr_at_floor_db = quality(*p);
+        op.energy_at_floor_j = p->energy_mean_j;
+        op.feasible = true;
+      } else {
+        break;
+      }
+    }
+    if (op.feasible && result.nominal_energy_j > 0.0) {
+      op.savings_vs_nominal_frac =
+          1.0 - op.energy_at_floor_j / result.nominal_energy_j;
+    }
+    result.points.push_back(op);
+  }
+
+  // Derive the triggering ranges: each EMT covers from its floor up to the
+  // floor of the next-weaker technique (paper's three-range scheme).
+  const auto find_point = [&](core::EmtKind k) -> const EmtOperatingPoint* {
+    for (const auto& p : result.points) {
+      if (p.emt == k && p.feasible) return &p;
+    }
+    return nullptr;
+  };
+  const EmtOperatingPoint* none = find_point(core::EmtKind::kNone);
+  const EmtOperatingPoint* dream = find_point(core::EmtKind::kDream);
+  const EmtOperatingPoint* ecc = find_point(core::EmtKind::kEccSecDed);
+
+  double upper = mem::VoltageWindow::kNominal + 1e-9;
+  if (none != nullptr) {
+    result.policy.add_range(none->min_safe_voltage, upper,
+                            core::EmtKind::kNone);
+    upper = none->min_safe_voltage;
+  }
+  if (dream != nullptr && dream->min_safe_voltage < upper) {
+    result.policy.add_range(dream->min_safe_voltage, upper,
+                            core::EmtKind::kDream);
+    upper = dream->min_safe_voltage;
+  }
+  if (ecc != nullptr && ecc->min_safe_voltage < upper) {
+    result.policy.add_range(ecc->min_safe_voltage, upper,
+                            core::EmtKind::kEccSecDed);
+  }
+  return result;
+}
+
+}  // namespace ulpdream::sim

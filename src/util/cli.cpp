@@ -1,0 +1,52 @@
+#include "ulpdream/util/cli.hpp"
+
+#include <cstdlib>
+
+namespace ulpdream::util {
+
+Cli::Cli(int argc, const char* const* argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[arg] = argv[++i];
+    } else {
+      values_[arg] = "true";
+    }
+  }
+}
+
+bool Cli::has(const std::string& key) const { return values_.count(key) > 0; }
+
+std::string Cli::get(const std::string& key, const std::string& def) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? def : it->second;
+}
+
+double Cli::get_double(const std::string& key, double def) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? def : std::strtod(it->second.c_str(), nullptr);
+}
+
+std::int64_t Cli::get_int(const std::string& key, std::int64_t def) const {
+  const auto it = values_.find(key);
+  return it == values_.end()
+             ? def
+             : std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+bool Cli::get_bool(const std::string& key, bool def) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return def;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+}  // namespace ulpdream::util

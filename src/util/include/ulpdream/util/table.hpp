@@ -1,0 +1,50 @@
+#pragma once
+// Text-table and CSV emitters shared by benches: every reproduced figure
+// prints both a human-readable aligned table and (optionally) a CSV file so
+// results can be re-plotted.
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ulpdream::util {
+
+/// Column-aligned text table with a title and optional CSV dump.
+class Table {
+ public:
+  explicit Table(std::string title) : title_(std::move(title)) {}
+
+  /// Sets the column headers; must be called before adding rows.
+  void set_header(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with the given precision.
+  void add_row_numeric(const std::vector<double>& row, int precision = 3);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::size_t cols() const noexcept { return header_.size(); }
+
+  /// Renders the aligned table to the stream.
+  void print(std::ostream& os) const;
+
+  /// Writes the table as CSV (header + rows) to the given path.
+  /// Returns false (and leaves no partial file guarantees) on I/O failure.
+  bool write_csv(const std::string& path) const;
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (helper used across benches).
+[[nodiscard]] std::string fmt(double value, int precision = 3);
+
+/// Formats a value in engineering style with a unit (e.g. "12.3 pJ").
+[[nodiscard]] std::string fmt_eng(double value, const std::string& unit);
+
+}  // namespace ulpdream::util

@@ -1,0 +1,68 @@
+#include "ulpdream/util/rng.hpp"
+
+#include <cmath>
+
+namespace ulpdream::util {
+
+std::uint64_t Xoshiro256::bounded(std::uint64_t bound) noexcept {
+  if (bound == 0) return 0;
+  // Lemire's nearly-divisionless method.
+  std::uint64_t x = (*this)();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto l = static_cast<std::uint64_t>(m);
+  if (l < bound) {
+    const std::uint64_t t = (0ULL - bound) % bound;
+    while (l < t) {
+      x = (*this)();
+      m = static_cast<__uint128_t>(x) * bound;
+      l = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+double Xoshiro256::gaussian() noexcept {
+  if (have_spare_) {
+    have_spare_ = false;
+    return spare_;
+  }
+  double u, v, s;
+  do {
+    u = uniform(-1.0, 1.0);
+    v = uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  spare_ = v * factor;
+  have_spare_ = true;
+  return u * factor;
+}
+
+std::uint64_t Xoshiro256::binomial(std::uint64_t n, double p) noexcept {
+  if (p <= 0.0 || n == 0) return 0;
+  if (p >= 1.0) return n;
+  const double np = static_cast<double>(n) * p;
+  if (np < 30.0) {
+    // Inversion by sequential search on the CDF; O(np) expected.
+    const double q = 1.0 - p;
+    double pk = std::pow(q, static_cast<double>(n));  // P(X = 0)
+    double cdf = pk;
+    const double u = uniform();
+    std::uint64_t k = 0;
+    while (u > cdf && k < n) {
+      pk *= (static_cast<double>(n - k) / static_cast<double>(k + 1)) *
+            (p / q);
+      cdf += pk;
+      ++k;
+    }
+    return k;
+  }
+  // Normal approximation with continuity correction, clamped to [0, n].
+  const double sigma = std::sqrt(np * (1.0 - p));
+  const double draw = std::round(gaussian(np, sigma));
+  if (draw < 0.0) return 0;
+  if (draw > static_cast<double>(n)) return n;
+  return static_cast<std::uint64_t>(draw);
+}
+
+}  // namespace ulpdream::util

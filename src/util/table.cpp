@@ -1,0 +1,116 @@
+#include "ulpdream/util/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace ulpdream::util {
+
+void Table::set_header(std::vector<std::string> header) {
+  if (!rows_.empty()) {
+    throw std::logic_error("Table: set_header after rows were added");
+  }
+  header_ = std::move(header);
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  if (row.size() != header_.size()) {
+    throw std::invalid_argument("Table: row width does not match header");
+  }
+  rows_.push_back(std::move(row));
+}
+
+void Table::add_row_numeric(const std::vector<double>& row, int precision) {
+  std::vector<std::string> cells;
+  cells.reserve(row.size());
+  for (double v : row) cells.push_back(fmt(v, precision));
+  add_row(std::move(cells));
+}
+
+void Table::print(std::ostream& os) const { os << to_string(); }
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> width(header_.size(), 0);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    width[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+
+  std::ostringstream os;
+  os << "== " << title_ << " ==\n";
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "" : "  ");
+      os << row[c];
+      for (std::size_t pad = row[c].size(); pad < width[c]; ++pad) os << ' ';
+    }
+    os << '\n';
+  };
+  emit_row(header_);
+  std::size_t total = 0;
+  for (auto w : width) total += w + 2;
+  os << std::string(total > 2 ? total - 2 : total, '-') << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+bool Table::write_csv(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return false;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) f << ',';
+      // Quote cells containing separators.
+      if (row[c].find_first_of(",\"\n") != std::string::npos) {
+        f << '"';
+        for (char ch : row[c]) {
+          if (ch == '"') f << '"';
+          f << ch;
+        }
+        f << '"';
+      } else {
+        f << row[c];
+      }
+    }
+    f << '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+  return static_cast<bool>(f);
+}
+
+std::string fmt(double value, int precision) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(precision);
+  os << value;
+  return os.str();
+}
+
+std::string fmt_eng(double value, const std::string& unit) {
+  static const struct {
+    double scale;
+    const char* prefix;
+  } kScales[] = {{1e12, "T"}, {1e9, "G"}, {1e6, "M"},  {1e3, "k"},
+                 {1.0, ""},   {1e-3, "m"}, {1e-6, "u"}, {1e-9, "n"},
+                 {1e-12, "p"}, {1e-15, "f"}};
+  const double mag = std::fabs(value);
+  for (const auto& s : kScales) {
+    if (mag >= s.scale || (s.scale == 1e-15 && mag > 0.0)) {
+      std::ostringstream os;
+      os.precision(3);
+      os << value / s.scale << ' ' << s.prefix << unit;
+      return os.str();
+    }
+  }
+  return "0 " + unit;
+}
+
+}  // namespace ulpdream::util

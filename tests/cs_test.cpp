@@ -1,0 +1,214 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ulpdream/cs/omp.hpp"
+#include "ulpdream/cs/reconstruct.hpp"
+#include "ulpdream/cs/sensing_matrix.hpp"
+#include "ulpdream/ecg/database.hpp"
+#include "ulpdream/metrics/quality.hpp"
+#include "ulpdream/util/rng.hpp"
+
+namespace ulpdream::cs {
+namespace {
+
+TEST(SensingMatrix, SparseBinaryColumnStructure) {
+  const linalg::Matrix phi = sparse_binary_matrix(32, 64, 4, 7);
+  const double expected = 1.0 / 2.0;  // 1/sqrt(4)
+  for (std::size_t c = 0; c < 64; ++c) {
+    int nonzero = 0;
+    for (std::size_t r = 0; r < 32; ++r) {
+      if (phi.at(r, c) != 0.0) {
+        ++nonzero;
+        EXPECT_DOUBLE_EQ(phi.at(r, c), expected);
+      }
+    }
+    EXPECT_EQ(nonzero, 4);
+  }
+}
+
+TEST(SensingMatrix, SparseBinaryRejectsBadDensity) {
+  EXPECT_THROW(sparse_binary_matrix(4, 8, 5, 1), std::invalid_argument);
+  EXPECT_THROW(sparse_binary_matrix(4, 8, 0, 1), std::invalid_argument);
+}
+
+TEST(SensingMatrix, BernoulliEntriesHaveCorrectMagnitude) {
+  const linalg::Matrix phi = bernoulli_matrix(16, 32, 3);
+  const double mag = 1.0 / 4.0;
+  for (std::size_t r = 0; r < 16; ++r) {
+    for (std::size_t c = 0; c < 32; ++c) {
+      EXPECT_DOUBLE_EQ(std::fabs(phi.at(r, c)), mag);
+    }
+  }
+}
+
+TEST(SensingMatrix, SparsePhiDenseEquivalence) {
+  const SparsePhi phi = make_sparse_phi(32, 64, 4, 11);
+  const linalg::Matrix dense = phi.to_dense();
+  // Column sums: d entries of 1/d each -> 1.
+  for (std::size_t c = 0; c < 64; ++c) {
+    double sum = 0.0;
+    for (std::size_t r = 0; r < 32; ++r) sum += dense.at(r, c);
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+  }
+}
+
+TEST(SensingMatrix, SparsePhiRowsDistinctPerColumn) {
+  const SparsePhi phi = make_sparse_phi(16, 32, 4, 13);
+  for (std::size_t c = 0; c < 32; ++c) {
+    for (int a = 0; a < 4; ++a) {
+      for (int b = a + 1; b < 4; ++b) {
+        EXPECT_NE(phi.rows[c * 4 + static_cast<std::size_t>(a)],
+                  phi.rows[c * 4 + static_cast<std::size_t>(b)]);
+      }
+    }
+  }
+}
+
+TEST(SensingMatrix, SparsePhiRejectsNonPowerOfTwo) {
+  EXPECT_THROW(make_sparse_phi(16, 32, 3, 1), std::invalid_argument);
+}
+
+TEST(Omp, RecoversExactlySparseSignal) {
+  // Classic CS sanity: K-sparse alpha, enough Bernoulli measurements ->
+  // OMP recovers support and values almost exactly.
+  const std::size_t n = 64;
+  const std::size_t m = 32;
+  const std::size_t k = 5;
+  const linalg::Matrix a = bernoulli_matrix(m, n, 21);
+  util::Xoshiro256 rng(22);
+  std::vector<double> alpha(n, 0.0);
+  for (std::size_t i = 0; i < k; ++i) {
+    alpha[rng.bounded(n)] = rng.gaussian(0.0, 10.0) + 5.0;
+  }
+  const std::vector<double> y = a.multiply(alpha);
+
+  OmpConfig cfg;
+  cfg.max_atoms = 10;
+  const OmpResult res = omp_solve(a, y, cfg);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(res.solution[i], alpha[i], 1e-6);
+  }
+  EXPECT_LT(res.residual_norm, 1e-6 * linalg::norm2(y));
+}
+
+TEST(Omp, ZeroMeasurementGivesZeroSolution) {
+  const linalg::Matrix a = bernoulli_matrix(8, 16, 1);
+  const std::vector<double> y(8, 0.0);
+  const OmpResult res = omp_solve(a, y, OmpConfig{});
+  for (double v : res.solution) EXPECT_DOUBLE_EQ(v, 0.0);
+  EXPECT_TRUE(res.support.empty());
+}
+
+TEST(Omp, RespectsAtomBudget) {
+  const linalg::Matrix a = bernoulli_matrix(32, 64, 5);
+  util::Xoshiro256 rng(6);
+  std::vector<double> y(32);
+  for (auto& v : y) v = rng.gaussian();
+  OmpConfig cfg;
+  cfg.max_atoms = 7;
+  const OmpResult res = omp_solve(a, y, cfg);
+  EXPECT_LE(res.support.size(), 7u);
+}
+
+TEST(Omp, SizeMismatchThrows) {
+  const linalg::Matrix a = bernoulli_matrix(8, 16, 1);
+  EXPECT_THROW(omp_solve(a, std::vector<double>(7, 0.0), OmpConfig{}),
+               std::invalid_argument);
+}
+
+TEST(Reconstructor, RejectsBadGeometry) {
+  CsConfig cfg;
+  cfg.block_n = 64;
+  cfg.block_m = 128;  // m > n
+  EXPECT_THROW(CsReconstructor{cfg}, std::invalid_argument);
+}
+
+TEST(Reconstructor, RecoversEcgBlockAboveRequirement) {
+  // End-to-end float pipeline: compress a real synthetic ECG block and
+  // reconstruct. Quality should clear the paper's 35 dB multi-lead
+  // requirement on typical blocks... at 50% compression our single-lead
+  // OMP ceiling is lower; we require a solid 15 dB here and track the
+  // exact ceiling in EXPERIMENTS.md.
+  const ecg::Record rec = ecg::make_default_record(3);
+  CsConfig cfg;
+  cfg.block_n = 256;
+  cfg.block_m = 128;
+  cfg.omp.max_atoms = 64;
+  const CsReconstructor recon(cfg);
+
+  std::vector<double> x(cfg.block_n);
+  for (std::size_t i = 0; i < cfg.block_n; ++i) {
+    x[i] = static_cast<double>(rec.samples[i]);
+  }
+  const std::vector<double> y = recon.phi().to_dense().multiply(x);
+  const std::vector<double> xhat = recon.reconstruct(y);
+  EXPECT_GT(metrics::snr_db(x, xhat), 15.0);
+}
+
+TEST(Reconstructor, WrongMeasurementSizeThrows) {
+  CsConfig cfg;
+  cfg.block_n = 64;
+  cfg.block_m = 32;
+  const CsReconstructor recon(cfg);
+  EXPECT_THROW(recon.reconstruct(std::vector<double>(31, 0.0)),
+               std::invalid_argument);
+}
+
+TEST(Reconstructor, CorruptedMeasurementsDegradeQuality) {
+  const ecg::Record rec = ecg::make_default_record(4);
+  CsConfig cfg;
+  cfg.block_n = 256;
+  cfg.block_m = 128;
+  cfg.omp.max_atoms = 48;
+  const CsReconstructor recon(cfg);
+
+  std::vector<double> x(cfg.block_n);
+  for (std::size_t i = 0; i < cfg.block_n; ++i) {
+    x[i] = static_cast<double>(rec.samples[i]);
+  }
+  std::vector<double> y = recon.phi().to_dense().multiply(x);
+  const std::vector<double> clean = recon.reconstruct(y);
+
+  // Corrupt a few measurements as a stuck-at MSB would.
+  y[3] += 8000.0;
+  y[77] -= 8000.0;
+  const std::vector<double> dirty = recon.reconstruct(y);
+
+  EXPECT_GT(metrics::snr_db(x, clean), metrics::snr_db(x, dirty));
+}
+
+class OmpSparsitySweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(OmpSparsitySweep, RecoveryDegradesGracefullyWithK) {
+  const std::size_t n = 128;
+  const std::size_t m = 64;
+  const auto k = static_cast<std::size_t>(GetParam());
+  const linalg::Matrix a = bernoulli_matrix(m, n, 31);
+  util::Xoshiro256 rng(100 + static_cast<std::uint64_t>(GetParam()));
+  std::vector<double> alpha(n, 0.0);
+  for (std::size_t i = 0; i < k; ++i) {
+    std::size_t pos = rng.bounded(n);
+    while (alpha[pos] != 0.0) pos = (pos + 1) % n;
+    alpha[pos] = rng.gaussian(0.0, 5.0) + 2.0;
+  }
+  const std::vector<double> y = a.multiply(alpha);
+  OmpConfig cfg;
+  cfg.max_atoms = 2 * k;
+  const OmpResult res = omp_solve(a, y, cfg);
+  // Well below the m/2 phase-transition, recovery is essentially exact.
+  if (k <= 12) {
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(res.solution[i], alpha[i], 1e-5);
+    }
+  } else {
+    // Near/over the limit we only require the residual to shrink.
+    EXPECT_LT(res.residual_norm, linalg::norm2(y));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sparsity, OmpSparsitySweep,
+                         ::testing::Values(1, 2, 4, 8, 12, 20, 28));
+
+}  // namespace
+}  // namespace ulpdream::cs

@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "ulpdream/core/dream.hpp"
+#include "ulpdream/util/rng.hpp"
+
+namespace ulpdream::core {
+namespace {
+
+TEST(Dream, PaperOverheadFiveBits) {
+  const Dream dream;
+  EXPECT_EQ(dream.payload_bits(), 16);
+  EXPECT_EQ(dream.safe_bits(), 5);  // 1 sign + log2(16) mask ID
+  EXPECT_EQ(dream.extra_bits(), 5); // paper Formula 2
+}
+
+TEST(Dream, RoundTripWithoutFaultsIsIdentity) {
+  const Dream dream;
+  for (int v = -32768; v <= 32767; v += 13) {
+    const auto s = static_cast<fixed::Sample>(v);
+    const std::uint32_t payload = dream.encode_payload(s);
+    const std::uint16_t safe = dream.encode_safe(s);
+    EXPECT_EQ(dream.decode(payload, safe), s) << "v=" << v;
+  }
+}
+
+TEST(Dream, RoundTripExhaustiveBoundaryValues) {
+  const Dream dream;
+  for (const fixed::Sample s :
+       {fixed::Sample(0), fixed::Sample(-1), fixed::Sample(1),
+        fixed::Sample(32767), fixed::Sample(-32768), fixed::Sample(255),
+        fixed::Sample(-256), fixed::Sample(0x4000), fixed::Sample(-0x4001)}) {
+    EXPECT_EQ(dream.decode(dream.encode_payload(s), dream.encode_safe(s)), s);
+  }
+}
+
+TEST(Dream, SafeWordLayoutSignAndMaskId) {
+  const Dream dream;
+  // -1 = 0xFFFF: sign 1, run 16 -> mask ID 15.
+  EXPECT_EQ(dream.encode_safe(-1), ((15u << 1) | 1u));
+  // 1 = 0x0001: sign 0, run 15 -> mask ID 14.
+  EXPECT_EQ(dream.encode_safe(1), (14u << 1));
+  // 0x7FFF: sign 0, run 1 -> mask ID 0.
+  EXPECT_EQ(dream.encode_safe(0x7FFF), 0u);
+}
+
+TEST(Dream, CorrectsAllErrorsInsideMaskedRun) {
+  const Dream dream;
+  // Sample 0x0001 (positive, run 15): any corruption of bits 15..1 must be
+  // fully repaired (mask covers 15 MSBs, bit 0 is the inverted-sign bit).
+  const fixed::Sample s = 1;
+  const std::uint16_t safe = dream.encode_safe(s);
+  for (std::uint32_t corruption = 1; corruption < 0x10000; corruption <<= 1) {
+    const std::uint32_t corrupted = dream.encode_payload(s) ^ corruption;
+    EXPECT_EQ(dream.decode(corrupted, safe), s)
+        << "flip bit pattern " << corruption;
+  }
+}
+
+TEST(Dream, CorrectsMultiBitBurstInMsbs) {
+  const Dream dream;
+  const fixed::Sample s = -100;  // 0xFF9C: run of 9 sign bits
+  const std::uint16_t safe = dream.encode_safe(s);
+  // Flip all top 9 bits plus the inverted-sign bit (bit 6).
+  const std::uint32_t corrupted = dream.encode_payload(s) ^ 0xFFC0u;
+  EXPECT_EQ(dream.decode(corrupted, safe), s);
+}
+
+TEST(Dream, DoesNotCorrectLsbErrors) {
+  const Dream dream;
+  const fixed::Sample s = -100;  // run 9: bits 6..0 unprotected except bit 6
+  const std::uint16_t safe = dream.encode_safe(s);
+  const std::uint32_t corrupted = dream.encode_payload(s) ^ 0x1u;  // bit 0
+  EXPECT_NE(dream.decode(corrupted, safe), s);
+  // And the damage equals exactly the LSB flip.
+  EXPECT_EQ(dream.decode(corrupted, safe), static_cast<fixed::Sample>(s ^ 1));
+}
+
+TEST(Dream, ProtectedRegionIsRunPlusOne) {
+  const Dream dream;
+  for (int v = -5000; v <= 5000; v += 97) {
+    const auto s = static_cast<fixed::Sample>(v);
+    const int run = fixed::sign_run_length(s);
+    if (run >= 16) continue;
+    const std::uint16_t safe = dream.encode_safe(s);
+    // Bit (15 - run) is the inverted sign bit: protected.
+    const std::uint32_t flip = 1u << (15 - run);
+    EXPECT_EQ(dream.decode(dream.encode_payload(s) ^ flip, safe), s)
+        << "v=" << v;
+    // Bit (14 - run) is NOT protected (if it exists).
+    if (15 - run >= 1) {
+      const std::uint32_t flip2 = 1u << (14 - run);
+      EXPECT_NE(dream.decode(dream.encode_payload(s) ^ flip2, safe), s)
+          << "v=" << v;
+    }
+  }
+}
+
+TEST(Dream, RecordedRunMatchesSignRun) {
+  const Dream dream;
+  for (int v = -32768; v <= 32767; v += 101) {
+    const auto s = static_cast<fixed::Sample>(v);
+    EXPECT_EQ(dream.recorded_run(s), fixed::sign_run_length(s));
+  }
+}
+
+TEST(Dream, CountersTrackCorrections) {
+  const Dream dream;
+  CodecCounters counters;
+  const fixed::Sample s = 1;
+  const std::uint16_t safe = dream.encode_safe(s);
+  (void)dream.decode(dream.encode_payload(s), safe, &counters);       // clean
+  (void)dream.decode(dream.encode_payload(s) ^ 0x8000u, safe, &counters);
+  EXPECT_EQ(counters.decodes, 2u);
+  EXPECT_EQ(counters.corrected_words, 1u);
+  EXPECT_EQ(counters.detected_uncorrectable, 0u);
+}
+
+TEST(Dream, RejectsBadMaskIdWidth) {
+  EXPECT_THROW(Dream(0), std::invalid_argument);
+  EXPECT_THROW(Dream(5), std::invalid_argument);
+}
+
+class DreamAblationSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(DreamAblationSweep, QuantizedRunNeverExceedsTrueRun) {
+  // D1 ablation soundness: a coarser mask ID must quantize the run DOWN —
+  // forcing a bit that was not constant would corrupt clean data.
+  const Dream dream(GetParam());
+  for (int v = -32768; v <= 32767; v += 53) {
+    const auto s = static_cast<fixed::Sample>(v);
+    EXPECT_LE(dream.recorded_run(s), fixed::sign_run_length(s));
+    EXPECT_GE(dream.recorded_run(s), 1);
+  }
+}
+
+TEST_P(DreamAblationSweep, RoundTripIdentityAtAllWidths) {
+  const Dream dream(GetParam());
+  for (int v = -32768; v <= 32767; v += 53) {
+    const auto s = static_cast<fixed::Sample>(v);
+    EXPECT_EQ(dream.decode(dream.encode_payload(s), dream.encode_safe(s)), s);
+  }
+}
+
+TEST_P(DreamAblationSweep, SafeBitsShrinkWithMaskId) {
+  const Dream dream(GetParam());
+  EXPECT_EQ(dream.safe_bits(), 1 + GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(MaskIdWidths, DreamAblationSweep,
+                         ::testing::Values(1, 2, 3, 4));
+
+TEST(Dream, RandomizedCorrectionProperty) {
+  // Property over random samples and random MSB-run corruptions: any error
+  // pattern confined to the top recorded_run+1 bits is fully corrected.
+  const Dream dream;
+  util::Xoshiro256 rng(2016);
+  for (int trial = 0; trial < 5000; ++trial) {
+    const auto s = static_cast<fixed::Sample>(
+        static_cast<std::int32_t>(rng.bounded(65536)) - 32768);
+    const int run = fixed::sign_run_length(s);
+    const int protected_bits = run == 16 ? 16 : run + 1;
+    // Random corruption within the protected region.
+    std::uint32_t corruption = 0;
+    for (int b = 16 - protected_bits; b < 16; ++b) {
+      if (rng.bernoulli(0.5)) corruption |= 1u << b;
+    }
+    const std::uint16_t safe = dream.encode_safe(s);
+    EXPECT_EQ(dream.decode(dream.encode_payload(s) ^ corruption, safe), s)
+        << "s=" << s << " corruption=" << corruption;
+  }
+}
+
+}  // namespace
+}  // namespace ulpdream::core

@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "ulpdream/ecg/database.hpp"
+#include "ulpdream/ecg/record_io.hpp"
+
+namespace ulpdream::ecg {
+namespace {
+
+class RecordIoTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    for (const auto& p : paths_) std::remove(p.c_str());
+  }
+  std::string temp_path(const std::string& stem) {
+    const std::string p = testing::TempDir() + stem;
+    paths_.push_back(p);
+    return p;
+  }
+  std::vector<std::string> paths_;
+};
+
+TEST_F(RecordIoTest, SaveLoadRoundTrip) {
+  const Record rec = make_default_record(3);
+  const std::string path = temp_path("roundtrip.csv");
+  ASSERT_TRUE(save_record_csv(rec, path));
+  const Record back = load_record_csv(path, rec.fs_hz, "back");
+  ASSERT_EQ(back.samples.size(), rec.samples.size());
+  EXPECT_EQ(back.samples, rec.samples);
+  EXPECT_EQ(back.name, "back");
+  EXPECT_DOUBLE_EQ(back.fs_hz, rec.fs_hz);
+}
+
+TEST_F(RecordIoTest, LoadsBareValueFormat) {
+  const std::string path = temp_path("bare.csv");
+  {
+    std::ofstream f(path);
+    f << "# comment line\n100\n-200\n300\n";
+  }
+  const Record rec = load_record_csv(path);
+  ASSERT_EQ(rec.samples.size(), 3u);
+  EXPECT_EQ(rec.samples[0], 100);
+  EXPECT_EQ(rec.samples[1], -200);
+  EXPECT_EQ(rec.samples[2], 300);
+}
+
+TEST_F(RecordIoTest, SkipsHeaderRow) {
+  const std::string path = temp_path("hdr.csv");
+  {
+    std::ofstream f(path);
+    f << "index,value\n0,42\n1,-7\n";
+  }
+  const Record rec = load_record_csv(path);
+  ASSERT_EQ(rec.samples.size(), 2u);
+  EXPECT_EQ(rec.samples[0], 42);
+  EXPECT_EQ(rec.samples[1], -7);
+}
+
+TEST_F(RecordIoTest, ClampsOutOfRangeValues) {
+  const std::string path = temp_path("clamp.csv");
+  {
+    std::ofstream f(path);
+    f << "99999\n-99999\n";
+  }
+  const Record rec = load_record_csv(path);
+  EXPECT_EQ(rec.samples[0], fixed::kSampleMax);
+  EXPECT_EQ(rec.samples[1], fixed::kSampleMin);
+}
+
+TEST_F(RecordIoTest, MissingFileThrows) {
+  EXPECT_THROW((void)load_record_csv("/nonexistent/nope.csv"),
+               std::runtime_error);
+}
+
+TEST_F(RecordIoTest, EmptyFileThrows) {
+  const std::string path = temp_path("empty.csv");
+  { std::ofstream f(path); }
+  EXPECT_THROW((void)load_record_csv(path), std::runtime_error);
+}
+
+TEST_F(RecordIoTest, WaveformMvPopulatedOnLoad) {
+  const std::string path = temp_path("mv.csv");
+  {
+    std::ofstream f(path);
+    f << "16384\n";
+  }
+  const Record rec = load_record_csv(path);
+  ASSERT_EQ(rec.waveform_mv.size(), 1u);
+  EXPECT_GT(rec.waveform_mv[0], 0.0);
+}
+
+}  // namespace
+}  // namespace ulpdream::ecg

@@ -1,0 +1,215 @@
+#include <gtest/gtest.h>
+
+#include "ulpdream/apps/dwt_app.hpp"
+#include "ulpdream/metrics/quality.hpp"
+#include "ulpdream/ecg/database.hpp"
+#include "ulpdream/sim/bit_significance.hpp"
+#include "ulpdream/sim/policy_explorer.hpp"
+#include "ulpdream/sim/runner.hpp"
+#include "ulpdream/sim/voltage_sweep.hpp"
+
+namespace ulpdream::sim {
+namespace {
+
+const ecg::Record& test_record() {
+  static const ecg::Record rec = ecg::make_default_record(29);
+  return rec;
+}
+
+TEST(Runner, CleanRunHitsMaxSnr) {
+  ExperimentRunner runner;
+  const apps::DwtApp app;
+  const RunResult clean = runner.run_once(
+      app, test_record(), core::EmtKind::kNone, nullptr, 0.9);
+  EXPECT_NEAR(clean.snr_db, runner.max_snr_db(app, test_record()), 1e-9);
+  EXPECT_GT(clean.snr_db, 40.0);  // quantization-limited, finite
+  EXPECT_LT(clean.snr_db, metrics::kSnrCeilingDb);
+}
+
+TEST(Runner, FaultsReduceSnr) {
+  ExperimentRunner runner;
+  const apps::DwtApp app;
+  const mem::FaultMap map = mem::FaultMap::stuck_bit(
+      mem::MemoryGeometry::kWords16, 16, 14, true);
+  const RunResult dirty =
+      runner.run_once(app, test_record(), core::EmtKind::kNone, &map, 0.9);
+  EXPECT_LT(dirty.snr_db, runner.max_snr_db(app, test_record()) - 10.0);
+}
+
+TEST(Runner, EnergyAndAccessesPopulated) {
+  ExperimentRunner runner;
+  const apps::DwtApp app;
+  const RunResult r = runner.run_once(app, test_record(),
+                                      core::EmtKind::kDream, nullptr, 0.7);
+  EXPECT_GT(r.data_accesses, 0u);
+  EXPECT_GT(r.side_accesses, 0u);
+  EXPECT_EQ(r.cycles, 2 * r.data_accesses);
+  EXPECT_GT(r.energy.total_j(), 0.0);
+}
+
+TEST(Runner, DreamCorrectsStuckMsbFault) {
+  ExperimentRunner runner;
+  const apps::DwtApp app;
+  const mem::FaultMap map = mem::FaultMap::stuck_bit(
+      mem::MemoryGeometry::kWords16, 16, 14, true);
+  const RunResult none_r =
+      runner.run_once(app, test_record(), core::EmtKind::kNone, &map, 0.9);
+  const RunResult dream_r =
+      runner.run_once(app, test_record(), core::EmtKind::kDream, &map, 0.9);
+  EXPECT_GT(dream_r.snr_db, none_r.snr_db + 20.0);
+  EXPECT_GT(dream_r.counters.corrected_words, 0u);
+}
+
+TEST(BitSignificance, MsbErrorsHurtMore) {
+  ExperimentRunner runner;
+  const apps::DwtApp app;
+  const std::vector<ecg::Record> records = {test_record()};
+  const BitSignificanceResult res =
+      run_bit_significance(runner, app, records);
+  // Paper Fig. 2: SNR decreases continuously toward the MSBs. Check the
+  // broad ordering LSB >> mid >> MSB for both polarities.
+  for (int pol = 0; pol < 2; ++pol) {
+    const auto& snr = res.snr_db[static_cast<std::size_t>(pol)];
+    EXPECT_GT(snr[0], snr[8]);
+    EXPECT_GT(snr[8], snr[14]);
+    EXPECT_GT(snr[0], 30.0);
+  }
+  EXPECT_GT(res.max_snr_db, 40.0);
+}
+
+TEST(BitSignificance, StuckAtOneMilderOnMsbs) {
+  // Negative-dominated samples hide stuck-at-1 MSB faults (paper Sec. III).
+  ExperimentRunner runner;
+  const apps::DwtApp app;
+  const std::vector<ecg::Record> records = {test_record()};
+  const BitSignificanceResult res =
+      run_bit_significance(runner, app, records);
+  EXPECT_GT(res.snr_db[1][14], res.snr_db[0][14]);
+}
+
+SweepConfig tiny_sweep() {
+  SweepConfig cfg;
+  cfg.voltages = {0.5, 0.7, 0.9};
+  cfg.runs = 4;
+  cfg.emts = core::all_emt_kinds();
+  return cfg;
+}
+
+TEST(VoltageSweep, ProducesAllPoints) {
+  ExperimentRunner runner;
+  const apps::DwtApp app;
+  const SweepResult res =
+      run_voltage_sweep(runner, app, test_record(), tiny_sweep());
+  EXPECT_EQ(res.points.size(), 3u * 3u);
+  EXPECT_NE(res.find(core::EmtKind::kDream, 0.7), nullptr);
+  EXPECT_EQ(res.find(core::EmtKind::kDream, 0.62), nullptr);
+}
+
+TEST(VoltageSweep, SnrDegradesAsVoltageDrops) {
+  ExperimentRunner runner;
+  const apps::DwtApp app;
+  const SweepResult res =
+      run_voltage_sweep(runner, app, test_record(), tiny_sweep());
+  for (const core::EmtKind emt : core::all_emt_kinds()) {
+    const SweepPoint* hi = res.find(emt, 0.9);
+    const SweepPoint* lo = res.find(emt, 0.5);
+    ASSERT_NE(hi, nullptr);
+    ASSERT_NE(lo, nullptr);
+    EXPECT_GT(hi->snr_mean_db, lo->snr_mean_db);
+  }
+}
+
+TEST(VoltageSweep, NominalVoltageIsErrorFree) {
+  ExperimentRunner runner;
+  const apps::DwtApp app;
+  const SweepResult res =
+      run_voltage_sweep(runner, app, test_record(), tiny_sweep());
+  const SweepPoint* p = res.find(core::EmtKind::kNone, 0.9);
+  ASSERT_NE(p, nullptr);
+  // BER(0.9) = 1e-9 on ~360k cells: fault-free with overwhelming
+  // probability, so mean SNR equals the max-SNR dashed line.
+  EXPECT_NEAR(p->snr_mean_db, res.max_snr_db, 0.5);
+}
+
+TEST(VoltageSweep, EnergyOrderingNoneDreamEcc) {
+  ExperimentRunner runner;
+  const apps::DwtApp app;
+  const SweepResult res =
+      run_voltage_sweep(runner, app, test_record(), tiny_sweep());
+  for (const double v : {0.5, 0.7, 0.9}) {
+    const double e_none = res.find(core::EmtKind::kNone, v)->energy_mean_j;
+    const double e_dream = res.find(core::EmtKind::kDream, v)->energy_mean_j;
+    const double e_ecc =
+        res.find(core::EmtKind::kEccSecDed, v)->energy_mean_j;
+    EXPECT_LT(e_none, e_dream);
+    EXPECT_LT(e_dream, e_ecc);
+  }
+}
+
+TEST(VoltageSweep, MultiAppSharesConfig) {
+  ExperimentRunner runner;
+  const apps::DwtApp dwt;
+  const auto morph = apps::make_app(apps::AppKind::kMorphFilter);
+  const std::vector<const apps::BioApp*> list = {&dwt, morph.get()};
+  const auto results =
+      run_voltage_sweep_multi(runner, list, test_record(), tiny_sweep());
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].points.front().app, apps::AppKind::kDwt);
+  EXPECT_EQ(results[1].points.front().app, apps::AppKind::kMorphFilter);
+}
+
+TEST(PolicyExplorer, DerivesFeasiblePolicy) {
+  ExperimentRunner runner;
+  const apps::DwtApp app;
+  SweepConfig cfg;
+  cfg.voltages = {0.5, 0.55, 0.6, 0.65, 0.7, 0.75, 0.8, 0.85, 0.9};
+  cfg.runs = 12;
+  const SweepResult sweep =
+      run_voltage_sweep(runner, app, test_record(), cfg);
+
+  // Relative criterion (the paper's -1 dB form): sanity of the structure.
+  const PolicyResult relative = explore_policy(sweep, 1.0);
+  EXPECT_GT(relative.nominal_energy_j, 0.0);
+  ASSERT_EQ(relative.points.size(), 3u);
+  for (const auto& p : relative.points) {
+    EXPECT_TRUE(p.feasible) << emt_kind_name(p.emt);
+    EXPECT_LE(p.min_safe_voltage, 0.9);
+  }
+  const auto find = [](const PolicyResult& res, core::EmtKind k) {
+    for (const auto& p : res.points) {
+      if (p.emt == k) return p;
+    }
+    return EmtOperatingPoint{};
+  };
+  // Protected techniques reach at least as deep as no protection.
+  EXPECT_LE(find(relative, core::EmtKind::kDream).min_safe_voltage,
+            find(relative, core::EmtKind::kNone).min_safe_voltage);
+
+  // Absolute clinical criterion (40 dB on the P10 reliability statistic):
+  // protection must unlock deeper floors AND larger net savings despite
+  // its energy overhead.
+  const PolicyResult absolute =
+      explore_policy(sweep, 40.0, QualityCriterion::kAbsoluteSnr,
+                     QualityStatistic::kP10);
+  EXPECT_DOUBLE_EQ(absolute.required_snr_db, 40.0);
+  // Protection unlocks deeper voltage floors than unprotected operation
+  // (paper Sec. VI-C range structure), with positive net savings.
+  EXPECT_LT(find(absolute, core::EmtKind::kDream).min_safe_voltage,
+            find(absolute, core::EmtKind::kNone).min_safe_voltage);
+  EXPECT_LE(find(absolute, core::EmtKind::kEccSecDed).min_safe_voltage,
+            find(absolute, core::EmtKind::kDream).min_safe_voltage);
+  EXPECT_GT(find(absolute, core::EmtKind::kDream).savings_vs_nominal_frac,
+            0.0);
+  EXPECT_GT(find(absolute, core::EmtKind::kEccSecDed).savings_vs_nominal_frac,
+            0.0);
+}
+
+TEST(PolicyExplorer, RequiresNominalPoint) {
+  SweepResult empty;
+  empty.config.voltages = {0.5};
+  empty.config.emts = core::all_emt_kinds();
+  EXPECT_THROW(explore_policy(empty, 1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ulpdream::sim

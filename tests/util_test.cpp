@@ -1,0 +1,241 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "ulpdream/util/cli.hpp"
+#include "ulpdream/util/rng.hpp"
+#include "ulpdream/util/stats.hpp"
+#include "ulpdream/util/table.hpp"
+
+namespace ulpdream::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Xoshiro256 a(123);
+  Xoshiro256 b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Xoshiro256 a(1);
+  Xoshiro256 b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Xoshiro256 rng(11);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, BoundedStaysInRange) {
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.bounded(17), 17u);
+  }
+}
+
+TEST(Rng, BoundedZeroReturnsZero) {
+  Xoshiro256 rng(5);
+  EXPECT_EQ(rng.bounded(0), 0u);
+}
+
+TEST(Rng, BoundedCoversAllResidues) {
+  Xoshiro256 rng(9);
+  std::array<int, 8> seen{};
+  for (int i = 0; i < 10000; ++i) ++seen[rng.bounded(8)];
+  for (int count : seen) EXPECT_GT(count, 0);
+}
+
+TEST(Rng, GaussianMoments) {
+  Xoshiro256 rng(13);
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.gaussian();
+    sum += g;
+    sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, BinomialZeroProbability) {
+  Xoshiro256 rng(1);
+  EXPECT_EQ(rng.binomial(1000, 0.0), 0u);
+}
+
+TEST(Rng, BinomialCertainty) {
+  Xoshiro256 rng(1);
+  EXPECT_EQ(rng.binomial(1000, 1.0), 1000u);
+}
+
+TEST(Rng, BinomialSmallNpMean) {
+  Xoshiro256 rng(3);
+  const std::uint64_t n = 100000;
+  const double p = 1e-4;  // np = 10, inversion path
+  double sum = 0.0;
+  const int reps = 2000;
+  for (int i = 0; i < reps; ++i) {
+    sum += static_cast<double>(rng.binomial(n, p));
+  }
+  EXPECT_NEAR(sum / reps, 10.0, 0.5);
+}
+
+TEST(Rng, BinomialLargeNpMean) {
+  Xoshiro256 rng(3);
+  const std::uint64_t n = 1000000;
+  const double p = 0.01;  // np = 10000, normal-approximation path
+  double sum = 0.0;
+  const int reps = 500;
+  for (int i = 0; i < reps; ++i) {
+    sum += static_cast<double>(rng.binomial(n, p));
+  }
+  EXPECT_NEAR(sum / reps / 10000.0, 1.0, 0.01);
+}
+
+TEST(Rng, BinomialNeverExceedsN) {
+  Xoshiro256 rng(17);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LE(rng.binomial(50, 0.9), 50u);
+  }
+}
+
+TEST(Rng, Mix64IndependentStreams) {
+  EXPECT_NE(mix64(1, 0), mix64(1, 1));
+  EXPECT_NE(mix64(1, 0), mix64(2, 0));
+}
+
+TEST(RunningStats, MeanAndVariance) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, SingleSampleVarianceZero) {
+  RunningStats s;
+  s.add(42.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.sem(), 0.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  RunningStats a;
+  RunningStats b;
+  RunningStats all;
+  for (int i = 0; i < 50; ++i) {
+    const double x = std::sin(i * 0.7) * 10.0;
+    (i % 2 == 0 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(QuantileSketch, MedianOfKnownData) {
+  QuantileSketch q;
+  for (int i = 1; i <= 101; ++i) q.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(q.median(), 51.0);
+  EXPECT_DOUBLE_EQ(q.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(q.quantile(1.0), 101.0);
+}
+
+TEST(Histogram, BinningAndOverflow) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(-1.0);
+  h.add(0.0);
+  h.add(5.5);
+  h.add(9.999);
+  h.add(10.0);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.bin_count(0), 1u);
+  EXPECT_EQ(h.bin_count(5), 1u);
+  EXPECT_EQ(h.bin_count(9), 1u);
+  EXPECT_EQ(h.total(), 5u);
+}
+
+TEST(Histogram, RejectsBadRange) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(Table, AlignedOutputContainsCells) {
+  Table t("demo");
+  t.set_header({"a", "long_header", "c"});
+  t.add_row({"1", "2", "3"});
+  t.add_row_numeric({4.5, 6.25, -1.0}, 2);
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("demo"), std::string::npos);
+  EXPECT_NE(s.find("long_header"), std::string::npos);
+  EXPECT_NE(s.find("6.25"), std::string::npos);
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+  Table t("demo");
+  t.set_header({"a", "b"});
+  EXPECT_THROW(t.add_row({"only_one"}), std::invalid_argument);
+}
+
+TEST(Table, HeaderAfterRowsThrows) {
+  Table t("demo");
+  t.set_header({"a"});
+  t.add_row({"1"});
+  EXPECT_THROW(t.set_header({"x"}), std::logic_error);
+}
+
+TEST(Cli, ParsesKeyValueForms) {
+  // Note: a bare --key greedily consumes a following non-flag token, so
+  // boolean flags must come last or use --flag=true.
+  const char* argv[] = {"prog", "--alpha=3", "--beta", "7", "pos1",
+                        "--flag"};
+  Cli cli(6, argv);
+  EXPECT_EQ(cli.get_int("alpha", 0), 3);
+  EXPECT_EQ(cli.get_int("beta", 0), 7);
+  EXPECT_TRUE(cli.get_bool("flag", false));
+  ASSERT_EQ(cli.positional().size(), 1u);
+  EXPECT_EQ(cli.positional()[0], "pos1");
+}
+
+TEST(Cli, DefaultsWhenMissing) {
+  const char* argv[] = {"prog"};
+  Cli cli(1, argv);
+  EXPECT_EQ(cli.get("missing", "dflt"), "dflt");
+  EXPECT_DOUBLE_EQ(cli.get_double("missing", 2.5), 2.5);
+  EXPECT_FALSE(cli.get_bool("missing", false));
+}
+
+}  // namespace
+}  // namespace ulpdream::util
