@@ -1,0 +1,59 @@
+#pragma once
+// Multi-threaded Monte-Carlo voltage sweep. Every voltage point of the
+// sweep owns an independent, deterministically-seeded RNG stream
+// (util::mix64(cfg.seed, voltage_index)) and a disjoint slice of the
+// result grid, so voltage points can be fanned across a std::thread pool
+// with no synchronisation on the hot path. Results are bit-identical to
+// the serial run_voltage_sweep* loop for any thread count — the parallel
+// and serial drivers execute the same per-voltage routine in the same
+// per-cell accumulation order.
+//
+// Each worker thread runs its own ExperimentRunner (the runner's golden
+// reference cache is not thread-safe); references are recomputed per
+// thread but are deterministic, so this does not affect results.
+
+#include <cstddef>
+#include <vector>
+
+#include "ulpdream/sim/voltage_sweep.hpp"
+#include "ulpdream/util/cli.hpp"
+
+namespace ulpdream::sim {
+
+class ParallelSweepRunner {
+ public:
+  /// `threads` == 0 picks std::thread::hardware_concurrency().
+  explicit ParallelSweepRunner(
+      energy::SystemEnergyModel energy_model = energy::SystemEnergyModel(),
+      unsigned threads = 0);
+
+  /// Builds a runner from a driver's `--threads N` flag (0 or a negative
+  /// value selects all hardware threads) — the shared CLI convention of
+  /// the bench/example sweep drivers.
+  [[nodiscard]] static ParallelSweepRunner from_cli(
+      const util::Cli& cli,
+      energy::SystemEnergyModel energy_model = energy::SystemEnergyModel());
+
+  /// Parallel equivalent of run_voltage_sweep_multi: shares fault maps
+  /// across apps and EMTs per (voltage, run), fans voltage points across
+  /// the pool. Bit-identical to the serial loop for any thread count.
+  [[nodiscard]] std::vector<SweepResult> run_multi(
+      const std::vector<const apps::BioApp*>& app_list,
+      const ecg::Record& record, const SweepConfig& cfg) const;
+
+  /// Parallel equivalent of run_voltage_sweep (single app).
+  [[nodiscard]] SweepResult run(const apps::BioApp& app,
+                                const ecg::Record& record,
+                                const SweepConfig& cfg) const;
+
+  [[nodiscard]] unsigned threads() const { return threads_; }
+  [[nodiscard]] const energy::SystemEnergyModel& energy_model() const {
+    return energy_model_;
+  }
+
+ private:
+  energy::SystemEnergyModel energy_model_;
+  unsigned threads_ = 1;
+};
+
+}  // namespace ulpdream::sim

@@ -1,0 +1,58 @@
+#pragma once
+// Shared implementation core for the serial and parallel voltage sweeps.
+// Both drivers call the exact same per-voltage accumulation routine with
+// the exact same per-voltage RNG seeding, so the parallel sweep is
+// bit-identical to the serial one by construction: every voltage index
+// owns an independent RNG stream (mix64(seed, vi)) and a disjoint slice
+// of the accumulator grid.
+
+#include <cstddef>
+#include <vector>
+
+#include "ulpdream/mem/ber_model.hpp"
+#include "ulpdream/sim/runner.hpp"
+#include "ulpdream/sim/voltage_sweep.hpp"
+#include "ulpdream/util/stats.hpp"
+
+namespace ulpdream::sim::internal {
+
+/// Accumulators for one (app, emt, voltage) cell.
+struct CellAccum {
+  util::RunningStats snr;
+  util::QuantileSketch snr_quantiles;
+  util::RunningStats energy;
+  energy::EnergyBreakdown energy_sum{};
+  util::RunningStats corrected;
+  util::RunningStats detected;
+};
+
+/// Grid of accumulators: grid[ai][vi * emts + ei].
+using AccumGrid = std::vector<std::vector<CellAccum>>;
+
+/// Copy of `cfg` with empty voltage/EMT lists replaced by the defaults.
+[[nodiscard]] SweepConfig normalize_config(const SweepConfig& cfg);
+
+/// Allocates the accumulator grid for a normalized config.
+[[nodiscard]] AccumGrid make_accum_grid(std::size_t apps,
+                                        const SweepConfig& cfg);
+
+/// Runs every Monte-Carlo repetition of voltage point `vi` for every
+/// (app, EMT) pair, accumulating into `grid[ai][vi * emts + ei]`. The RNG
+/// stream depends only on (cfg.seed, vi), and only cells of this `vi` are
+/// written — callers may invoke this for distinct `vi` concurrently as
+/// long as each call gets its own `runner`.
+void accumulate_voltage_point(ExperimentRunner& runner,
+                              const std::vector<const apps::BioApp*>& app_list,
+                              const ecg::Record& record,
+                              const SweepConfig& cfg,
+                              const mem::BerModel& ber_model, std::size_t vi,
+                              AccumGrid& grid);
+
+/// Reduces a fully-populated grid to per-app SweepResults.
+[[nodiscard]] std::vector<SweepResult> finalize_sweep(
+    ExperimentRunner& runner,
+    const std::vector<const apps::BioApp*>& app_list,
+    const ecg::Record& record, const SweepConfig& cfg,
+    const mem::BerModel& ber_model, const AccumGrid& grid);
+
+}  // namespace ulpdream::sim::internal

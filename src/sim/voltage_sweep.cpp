@@ -2,23 +2,107 @@
 
 #include <cmath>
 
+#include "sweep_internal.hpp"
 #include "ulpdream/core/ecc_secded.hpp"
 
 namespace ulpdream::sim {
 
-namespace {
+namespace internal {
 
-/// Accumulators for one (app, emt, voltage) cell.
-struct CellAccum {
-  util::RunningStats snr;
-  util::QuantileSketch snr_quantiles;
-  util::RunningStats energy;
-  energy::EnergyBreakdown energy_sum{};
-  util::RunningStats corrected;
-  util::RunningStats detected;
-};
+SweepConfig normalize_config(const SweepConfig& cfg) {
+  SweepConfig out = cfg;
+  if (out.voltages.empty()) out.voltages = SweepConfig::defaults().voltages;
+  if (out.emts.empty()) out.emts = core::all_emt_kinds();
+  return out;
+}
 
-}  // namespace
+AccumGrid make_accum_grid(std::size_t apps, const SweepConfig& cfg) {
+  AccumGrid grid(apps);
+  for (auto& a : grid) {
+    a.resize(cfg.voltages.size() * cfg.emts.size());
+  }
+  return grid;
+}
+
+void accumulate_voltage_point(ExperimentRunner& runner,
+                              const std::vector<const apps::BioApp*>& app_list,
+                              const ecg::Record& record,
+                              const SweepConfig& cfg,
+                              const mem::BerModel& ber_model, std::size_t vi,
+                              AccumGrid& grid) {
+  // Maps are generated at the widest payload (ECC's 22 bits) so the same
+  // cell fault locations apply to every EMT; narrower payloads simply
+  // never touch the high columns.
+  const int map_bits = core::EccSecDed::kPayloadBits;
+
+  const double v = cfg.voltages[vi];
+  const double ber = ber_model.ber(v);
+  util::Xoshiro256 rng(util::mix64(cfg.seed, vi));
+  for (std::size_t run = 0; run < cfg.runs; ++run) {
+    const mem::FaultMap map = mem::FaultMap::random(
+        mem::MemoryGeometry::kWords16, map_bits, ber, rng);
+    for (std::size_t ai = 0; ai < app_list.size(); ++ai) {
+      for (std::size_t ei = 0; ei < cfg.emts.size(); ++ei) {
+        const RunResult r =
+            runner.run_once(*app_list[ai], record, cfg.emts[ei], &map, v);
+        CellAccum& cell = grid[ai][vi * cfg.emts.size() + ei];
+        cell.snr.add(r.snr_db);
+        cell.snr_quantiles.add(r.snr_db);
+        cell.energy.add(r.energy.total_j());
+        cell.energy_sum.data_dynamic_j += r.energy.data_dynamic_j;
+        cell.energy_sum.side_dynamic_j += r.energy.side_dynamic_j;
+        cell.energy_sum.codec_j += r.energy.codec_j;
+        cell.energy_sum.data_leak_j += r.energy.data_leak_j;
+        cell.energy_sum.side_leak_j += r.energy.side_leak_j;
+        cell.corrected.add(static_cast<double>(r.counters.corrected_words));
+        cell.detected.add(
+            static_cast<double>(r.counters.detected_uncorrectable));
+      }
+    }
+  }
+}
+
+std::vector<SweepResult> finalize_sweep(
+    ExperimentRunner& runner,
+    const std::vector<const apps::BioApp*>& app_list,
+    const ecg::Record& record, const SweepConfig& cfg,
+    const mem::BerModel& ber_model, const AccumGrid& grid) {
+  std::vector<SweepResult> results;
+  results.reserve(app_list.size());
+  for (std::size_t ai = 0; ai < app_list.size(); ++ai) {
+    SweepResult result;
+    result.config = cfg;
+    result.max_snr_db = runner.max_snr_db(*app_list[ai], record);
+    for (std::size_t vi = 0; vi < cfg.voltages.size(); ++vi) {
+      for (std::size_t ei = 0; ei < cfg.emts.size(); ++ei) {
+        const CellAccum& cell = grid[ai][vi * cfg.emts.size() + ei];
+        SweepPoint p;
+        p.app = app_list[ai]->kind();
+        p.emt = cfg.emts[ei];
+        p.voltage = cfg.voltages[vi];
+        p.ber = ber_model.ber(p.voltage);
+        p.snr_mean_db = cell.snr.mean();
+        p.snr_stddev_db = cell.snr.stddev();
+        p.snr_min_db = cell.snr.min();
+        p.snr_p10_db = cell.snr_quantiles.quantile(0.10);
+        p.energy_mean_j = cell.energy.mean();
+        const double n = static_cast<double>(cell.snr.count());
+        p.energy_mean.data_dynamic_j = cell.energy_sum.data_dynamic_j / n;
+        p.energy_mean.side_dynamic_j = cell.energy_sum.side_dynamic_j / n;
+        p.energy_mean.codec_j = cell.energy_sum.codec_j / n;
+        p.energy_mean.data_leak_j = cell.energy_sum.data_leak_j / n;
+        p.energy_mean.side_leak_j = cell.energy_sum.side_leak_j / n;
+        p.corrected_words_mean = cell.corrected.mean();
+        p.detected_uncorrectable_mean = cell.detected.mean();
+        result.points.push_back(p);
+      }
+    }
+    results.push_back(std::move(result));
+  }
+  return results;
+}
+
+}  // namespace internal
 
 SweepConfig SweepConfig::defaults() {
   SweepConfig cfg;
@@ -42,83 +126,16 @@ std::vector<SweepResult> run_voltage_sweep_multi(
     ExperimentRunner& runner,
     const std::vector<const apps::BioApp*>& app_list,
     const ecg::Record& record, const SweepConfig& base_cfg) {
-  SweepConfig cfg = base_cfg;
-  if (cfg.voltages.empty()) cfg.voltages = SweepConfig::defaults().voltages;
-  if (cfg.emts.empty()) cfg.emts = core::all_emt_kinds();
-
+  const SweepConfig cfg = internal::normalize_config(base_cfg);
   const auto ber_model = mem::make_ber_model(cfg.ber_model);
 
-  // Maps are generated at the widest payload (ECC's 22 bits) so the same
-  // cell fault locations apply to every EMT; narrower payloads simply
-  // never touch the high columns.
-  const int map_bits = core::EccSecDed::kPayloadBits;
-
-  std::vector<std::vector<CellAccum>> accum(app_list.size());
-  for (auto& a : accum) {
-    a.resize(cfg.voltages.size() * cfg.emts.size());
-  }
-
+  internal::AccumGrid grid = internal::make_accum_grid(app_list.size(), cfg);
   for (std::size_t vi = 0; vi < cfg.voltages.size(); ++vi) {
-    const double v = cfg.voltages[vi];
-    const double ber = ber_model->ber(v);
-    util::Xoshiro256 rng(util::mix64(cfg.seed, vi));
-    for (std::size_t run = 0; run < cfg.runs; ++run) {
-      const mem::FaultMap map = mem::FaultMap::random(
-          mem::MemoryGeometry::kWords16, map_bits, ber, rng);
-      for (std::size_t ai = 0; ai < app_list.size(); ++ai) {
-        for (std::size_t ei = 0; ei < cfg.emts.size(); ++ei) {
-          const RunResult r =
-              runner.run_once(*app_list[ai], record, cfg.emts[ei], &map, v);
-          CellAccum& cell = accum[ai][vi * cfg.emts.size() + ei];
-          cell.snr.add(r.snr_db);
-          cell.snr_quantiles.add(r.snr_db);
-          cell.energy.add(r.energy.total_j());
-          cell.energy_sum.data_dynamic_j += r.energy.data_dynamic_j;
-          cell.energy_sum.side_dynamic_j += r.energy.side_dynamic_j;
-          cell.energy_sum.codec_j += r.energy.codec_j;
-          cell.energy_sum.data_leak_j += r.energy.data_leak_j;
-          cell.energy_sum.side_leak_j += r.energy.side_leak_j;
-          cell.corrected.add(static_cast<double>(r.counters.corrected_words));
-          cell.detected.add(
-              static_cast<double>(r.counters.detected_uncorrectable));
-        }
-      }
-    }
+    internal::accumulate_voltage_point(runner, app_list, record, cfg,
+                                       *ber_model, vi, grid);
   }
-
-  std::vector<SweepResult> results;
-  results.reserve(app_list.size());
-  for (std::size_t ai = 0; ai < app_list.size(); ++ai) {
-    SweepResult result;
-    result.config = cfg;
-    result.max_snr_db = runner.max_snr_db(*app_list[ai], record);
-    for (std::size_t vi = 0; vi < cfg.voltages.size(); ++vi) {
-      for (std::size_t ei = 0; ei < cfg.emts.size(); ++ei) {
-        const CellAccum& cell = accum[ai][vi * cfg.emts.size() + ei];
-        SweepPoint p;
-        p.app = app_list[ai]->kind();
-        p.emt = cfg.emts[ei];
-        p.voltage = cfg.voltages[vi];
-        p.ber = ber_model->ber(p.voltage);
-        p.snr_mean_db = cell.snr.mean();
-        p.snr_stddev_db = cell.snr.stddev();
-        p.snr_min_db = cell.snr.min();
-        p.snr_p10_db = cell.snr_quantiles.quantile(0.10);
-        p.energy_mean_j = cell.energy.mean();
-        const double n = static_cast<double>(cell.snr.count());
-        p.energy_mean.data_dynamic_j = cell.energy_sum.data_dynamic_j / n;
-        p.energy_mean.side_dynamic_j = cell.energy_sum.side_dynamic_j / n;
-        p.energy_mean.codec_j = cell.energy_sum.codec_j / n;
-        p.energy_mean.data_leak_j = cell.energy_sum.data_leak_j / n;
-        p.energy_mean.side_leak_j = cell.energy_sum.side_leak_j / n;
-        p.corrected_words_mean = cell.corrected.mean();
-        p.detected_uncorrectable_mean = cell.detected.mean();
-        result.points.push_back(p);
-      }
-    }
-    results.push_back(std::move(result));
-  }
-  return results;
+  return internal::finalize_sweep(runner, app_list, record, cfg, *ber_model,
+                                  grid);
 }
 
 SweepResult run_voltage_sweep(ExperimentRunner& runner,
