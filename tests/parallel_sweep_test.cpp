@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "ulpdream/apps/dwt_app.hpp"
+#include "ulpdream/apps/morph_filter_app.hpp"
+#include "ulpdream/ecg/database.hpp"
+#include "ulpdream/sim/parallel_sweep.hpp"
+#include "ulpdream/sim/runner.hpp"
+#include "ulpdream/sim/voltage_sweep.hpp"
+
+namespace ulpdream::sim {
+namespace {
+
+const ecg::Record& test_record() {
+  static const ecg::Record rec = ecg::make_default_record(29);
+  return rec;
+}
+
+SweepConfig tiny_sweep() {
+  SweepConfig cfg;
+  cfg.voltages = {0.5, 0.6, 0.7, 0.8, 0.9};
+  cfg.runs = 6;
+  cfg.emts = core::all_emt_kinds();
+  return cfg;
+}
+
+// Bit-identical comparison: every statistic of every point must match the
+// serial sweep exactly (EXPECT_EQ on doubles, no tolerance).
+void expect_bit_identical(const SweepResult& a, const SweepResult& b) {
+  EXPECT_EQ(a.max_snr_db, b.max_snr_db);
+  ASSERT_EQ(a.points.size(), b.points.size());
+  for (std::size_t i = 0; i < a.points.size(); ++i) {
+    const SweepPoint& pa = a.points[i];
+    const SweepPoint& pb = b.points[i];
+    EXPECT_EQ(pa.app, pb.app);
+    EXPECT_EQ(pa.emt, pb.emt);
+    EXPECT_EQ(pa.voltage, pb.voltage);
+    EXPECT_EQ(pa.ber, pb.ber);
+    EXPECT_EQ(pa.snr_mean_db, pb.snr_mean_db) << "point " << i;
+    EXPECT_EQ(pa.snr_stddev_db, pb.snr_stddev_db) << "point " << i;
+    EXPECT_EQ(pa.snr_min_db, pb.snr_min_db) << "point " << i;
+    EXPECT_EQ(pa.snr_p10_db, pb.snr_p10_db) << "point " << i;
+    EXPECT_EQ(pa.energy_mean_j, pb.energy_mean_j) << "point " << i;
+    EXPECT_EQ(pa.energy_mean.data_dynamic_j, pb.energy_mean.data_dynamic_j);
+    EXPECT_EQ(pa.energy_mean.side_dynamic_j, pb.energy_mean.side_dynamic_j);
+    EXPECT_EQ(pa.energy_mean.codec_j, pb.energy_mean.codec_j);
+    EXPECT_EQ(pa.energy_mean.data_leak_j, pb.energy_mean.data_leak_j);
+    EXPECT_EQ(pa.energy_mean.side_leak_j, pb.energy_mean.side_leak_j);
+    EXPECT_EQ(pa.corrected_words_mean, pb.corrected_words_mean) << "pt " << i;
+    EXPECT_EQ(pa.detected_uncorrectable_mean, pb.detected_uncorrectable_mean);
+  }
+}
+
+TEST(ParallelSweep, BitIdenticalToSerialAcrossThreadCounts) {
+  ExperimentRunner serial_runner;
+  const apps::DwtApp app;
+  const SweepResult serial =
+      run_voltage_sweep(serial_runner, app, test_record(), tiny_sweep());
+
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    ParallelSweepRunner parallel(energy::SystemEnergyModel(), threads);
+    EXPECT_EQ(parallel.threads(), threads);
+    const SweepResult result = parallel.run(app, test_record(), tiny_sweep());
+    SCOPED_TRACE(testing::Message() << "threads=" << threads);
+    expect_bit_identical(serial, result);
+  }
+}
+
+TEST(ParallelSweep, MultiAppBitIdenticalToSerial) {
+  ExperimentRunner serial_runner;
+  const apps::DwtApp dwt;
+  const apps::MorphFilterApp morph;
+  const std::vector<const apps::BioApp*> list = {&dwt, &morph};
+  const auto serial = run_voltage_sweep_multi(serial_runner, list,
+                                              test_record(), tiny_sweep());
+
+  const ParallelSweepRunner parallel(energy::SystemEnergyModel(), 4);
+  const auto result = parallel.run_multi(list, test_record(), tiny_sweep());
+  ASSERT_EQ(result.size(), serial.size());
+  for (std::size_t ai = 0; ai < serial.size(); ++ai) {
+    SCOPED_TRACE(testing::Message() << "app " << ai);
+    expect_bit_identical(serial[ai], result[ai]);
+  }
+}
+
+TEST(ParallelSweep, RepeatedParallelRunsAreIdentical) {
+  const apps::DwtApp app;
+  const ParallelSweepRunner parallel(energy::SystemEnergyModel(), 8);
+  const SweepResult first = parallel.run(app, test_record(), tiny_sweep());
+  const SweepResult second = parallel.run(app, test_record(), tiny_sweep());
+  expect_bit_identical(first, second);
+}
+
+TEST(ParallelSweep, MoreThreadsThanVoltagePointsIsSafe) {
+  const apps::DwtApp app;
+  SweepConfig cfg = tiny_sweep();
+  cfg.voltages = {0.7};
+  cfg.runs = 3;
+  ExperimentRunner serial_runner;
+  const SweepResult serial =
+      run_voltage_sweep(serial_runner, app, test_record(), cfg);
+  const ParallelSweepRunner parallel(energy::SystemEnergyModel(), 16);
+  expect_bit_identical(serial, parallel.run(app, test_record(), cfg));
+}
+
+TEST(ParallelSweep, DefaultThreadCountIsPositive) {
+  const ParallelSweepRunner parallel;
+  EXPECT_GE(parallel.threads(), 1u);
+}
+
+TEST(ParallelSweep, FillsInDefaultVoltagesAndEmts) {
+  const apps::DwtApp app;
+  SweepConfig cfg;  // empty voltage/EMT lists
+  cfg.runs = 1;
+  const ParallelSweepRunner parallel(energy::SystemEnergyModel(), 2);
+  const SweepResult result = parallel.run(app, test_record(), cfg);
+  const SweepConfig defaults = SweepConfig::defaults();
+  EXPECT_EQ(result.points.size(),
+            defaults.voltages.size() * defaults.emts.size());
+}
+
+}  // namespace
+}  // namespace ulpdream::sim
