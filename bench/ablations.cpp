@@ -13,7 +13,7 @@
 #include "ulpdream/ecg/database.hpp"
 #include "ulpdream/metrics/quality.hpp"
 #include "ulpdream/sim/runner.hpp"
-#include "ulpdream/sim/voltage_sweep.hpp"
+#include "ulpdream/sim/parallel_sweep.hpp"
 #include "ulpdream/util/cli.hpp"
 #include "ulpdream/util/stats.hpp"
 #include "ulpdream/util/table.hpp"
@@ -51,7 +51,7 @@ void ablation_d1_mask_width(sim::ExperimentRunner& runner,
   std::cout << '\n';
 }
 
-void ablation_d2_ber_model(sim::ExperimentRunner& runner,
+void ablation_d2_ber_model(const sim::ParallelSweepRunner& sweeper,
                            const ecg::Record& record, std::size_t runs) {
   std::cerr << "[ablations] D2 BER model family...\n";
   const apps::DwtApp app;
@@ -64,11 +64,9 @@ void ablation_d2_ber_model(sim::ExperimentRunner& runner,
   cfg.emts = {core::EmtKind::kDream};
 
   cfg.ber_model = mem::BerModelKind::kLogLinear;
-  const sim::SweepResult log_res =
-      sim::run_voltage_sweep(runner, app, record, cfg);
+  const sim::SweepResult log_res = sweeper.run(app, record, cfg);
   cfg.ber_model = mem::BerModelKind::kProbit;
-  const sim::SweepResult probit_res =
-      sim::run_voltage_sweep(runner, app, record, cfg);
+  const sim::SweepResult probit_res = sweeper.run(app, record, cfg);
 
   for (auto it = cfg.voltages.rbegin(); it != cfg.voltages.rend(); ++it) {
     table.add_row(
@@ -133,8 +131,9 @@ int main(int argc, char** argv) {
   const auto runs = static_cast<std::size_t>(cli.get_int("runs", 20));
   const ecg::Record record = ecg::make_default_record(7);
   sim::ExperimentRunner runner;
+  const sim::ParallelSweepRunner sweeper = sim::ParallelSweepRunner::from_cli(cli);
   ablation_d1_mask_width(runner, record, runs);
-  ablation_d2_ber_model(runner, record, runs);
+  ablation_d2_ber_model(sweeper, record, runs);
   ablation_d3_scrambling(runner, record, runs);
   return 0;
 }

@@ -10,7 +10,7 @@
 #include "ulpdream/apps/classifier_app.hpp"
 #include "ulpdream/apps/dwt_app.hpp"
 #include "ulpdream/ecg/database.hpp"
-#include "ulpdream/sim/voltage_sweep.hpp"
+#include "ulpdream/sim/parallel_sweep.hpp"
 #include "ulpdream/util/cli.hpp"
 #include "ulpdream/util/table.hpp"
 
@@ -28,11 +28,11 @@ int main(int argc, char** argv) {
   const ecg::Record record = ecg::make_default_record(7);
   const apps::DwtApp dwt;
 
+  const sim::ParallelSweepRunner runner =
+      sim::ParallelSweepRunner::from_cli(cli);
   std::cerr << "[deep] sweeping DWT at deep voltages, " << cfg.runs
-            << " runs/point...\n";
-  sim::ExperimentRunner runner;
-  const sim::SweepResult res =
-      sim::run_voltage_sweep(runner, dwt, record, cfg);
+            << " runs/point on up to " << runner.threads() << " threads...\n";
+  const sim::SweepResult res = runner.run(dwt, record, cfg);
 
   util::Table table(
       "Deep-voltage extension - DWT mean SNR [dB] per EMT (hybrid = "

@@ -8,7 +8,7 @@
 
 #include "ulpdream/apps/app.hpp"
 #include "ulpdream/ecg/database.hpp"
-#include "ulpdream/sim/voltage_sweep.hpp"
+#include "ulpdream/sim/parallel_sweep.hpp"
 #include "ulpdream/util/cli.hpp"
 #include "ulpdream/util/table.hpp"
 
@@ -20,7 +20,8 @@ int main(int argc, char** argv) {
   cfg.runs = static_cast<std::size_t>(cli.get_int("runs", 2));
   const ecg::Record record = ecg::make_default_record(7);
 
-  sim::ExperimentRunner runner;
+  const sim::ParallelSweepRunner runner =
+      sim::ParallelSweepRunner::from_cli(cli);
 
   double grand_none = 0.0;
   double grand_dream = 0.0;
@@ -29,8 +30,7 @@ int main(int argc, char** argv) {
   for (const apps::AppKind kind : apps::all_app_kinds()) {
     const auto app = apps::make_app(kind);
     std::cerr << "[energy] " << app->name() << "...\n";
-    const sim::SweepResult res =
-        sim::run_voltage_sweep(runner, *app, record, cfg);
+    const sim::SweepResult res = runner.run(*app, record, cfg);
 
     util::Table table(std::string("Sec. VI-B - energy per run [uJ], app = ") +
                       app->name());

@@ -9,7 +9,7 @@
 #include "ulpdream/apps/app.hpp"
 #include "ulpdream/ecg/database.hpp"
 #include "ulpdream/metrics/quality.hpp"
-#include "ulpdream/sim/voltage_sweep.hpp"
+#include "ulpdream/sim/parallel_sweep.hpp"
 #include "ulpdream/util/cli.hpp"
 #include "ulpdream/util/table.hpp"
 
@@ -34,12 +34,14 @@ int main(int argc, char** argv) {
     app_list.push_back(owned.back().get());
   }
 
+  const sim::ParallelSweepRunner runner =
+      sim::ParallelSweepRunner::from_cli(cli);
   std::cerr << "[fig4] sweeping " << cfg.voltages.size() << " voltages x "
             << cfg.runs << " runs x " << app_list.size() << " apps x "
-            << cfg.emts.size() << " EMTs...\n";
-  sim::ExperimentRunner runner;
+            << cfg.emts.size() << " EMTs on up to " << runner.threads()
+            << " threads...\n";
   const std::vector<sim::SweepResult> results =
-      sim::run_voltage_sweep_multi(runner, app_list, record, cfg);
+      runner.run_multi(app_list, record, cfg);
 
   const char* panel_names[] = {"(a) No protection", "(b) DREAM",
                                "(c) ECC SEC/DED"};

@@ -8,6 +8,7 @@
 
 #include "ulpdream/apps/dwt_app.hpp"
 #include "ulpdream/ecg/database.hpp"
+#include "ulpdream/sim/parallel_sweep.hpp"
 #include "ulpdream/sim/policy_explorer.hpp"
 #include "ulpdream/util/cli.hpp"
 #include "ulpdream/util/table.hpp"
@@ -26,10 +27,11 @@ int main(int argc, char** argv) {
 
   const double min_snr = cli.get_double("min-snr-db", 40.0);
 
-  std::cerr << "[policy] sweeping DWT, " << cfg.runs << " runs/point...\n";
-  sim::ExperimentRunner runner;
-  const sim::SweepResult sweep =
-      sim::run_voltage_sweep(runner, app, record, cfg);
+  const sim::ParallelSweepRunner runner =
+      sim::ParallelSweepRunner::from_cli(cli);
+  std::cerr << "[policy] sweeping DWT, " << cfg.runs << " runs/point on up to "
+            << runner.threads() << " threads...\n";
+  const sim::SweepResult sweep = runner.run(app, record, cfg);
 
   const auto print_policy = [&](const sim::PolicyResult& policy,
                                 const std::string& title,

@@ -6,14 +6,15 @@
 //   voltage_explorer [--app dwt|matrix_filter|cs|morph_filter|delineation]
 //                    [--runs 30] [--vmin 0.5] [--vmax 0.9] [--step 0.05]
 //                    [--ber-model log-linear|probit] [--tolerance-db 1]
+//                    [--threads N]   (0 = all hardware threads)
 
 #include <iostream>
 #include <string>
 
 #include "ulpdream/apps/app.hpp"
 #include "ulpdream/ecg/database.hpp"
+#include "ulpdream/sim/parallel_sweep.hpp"
 #include "ulpdream/sim/policy_explorer.hpp"
-#include "ulpdream/sim/voltage_sweep.hpp"
 #include "ulpdream/util/cli.hpp"
 #include "ulpdream/util/table.hpp"
 
@@ -50,11 +51,12 @@ int main(int argc, char** argv) {
   const ecg::Record record = ecg::make_default_record(
       static_cast<std::uint64_t>(cli.get_int("seed", 7)));
 
+  const sim::ParallelSweepRunner runner =
+      sim::ParallelSweepRunner::from_cli(cli);
   std::cerr << "sweeping " << app->name() << " over [" << vmin << ", "
-            << vmax << "] V, " << cfg.runs << " runs/point...\n";
-  sim::ExperimentRunner runner;
-  const sim::SweepResult res =
-      sim::run_voltage_sweep(runner, *app, record, cfg);
+            << vmax << "] V, " << cfg.runs << " runs/point on up to "
+            << runner.threads() << " threads...\n";
+  const sim::SweepResult res = runner.run(*app, record, cfg);
 
   std::cout << "App: " << app->name()
             << "  (max SNR error-free: " << util::fmt(res.max_snr_db, 1)
