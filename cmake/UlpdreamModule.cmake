@@ -1,0 +1,46 @@
+# ulpdream_add_module(<name> SOURCES <src...> [DEPS <ulpdream::dep...>])
+#
+# Declares the static library `ulpdream_<name>` with alias
+# `ulpdream::<name>`, exporting its `include/` directory and linking the
+# shared warning interface plus the listed module dependencies.
+function(ulpdream_add_module name)
+  cmake_parse_arguments(ARG "" "" "SOURCES;DEPS" ${ARGN})
+  set(target ulpdream_${name})
+  add_library(${target} STATIC ${ARG_SOURCES})
+  add_library(ulpdream::${name} ALIAS ${target})
+  target_include_directories(${target} PUBLIC
+    $<BUILD_INTERFACE:${CMAKE_CURRENT_SOURCE_DIR}/include>)
+  target_link_libraries(${target} PRIVATE ulpdream_warnings)
+  if(ARG_DEPS)
+    target_link_libraries(${target} PUBLIC ${ARG_DEPS})
+  endif()
+endfunction()
+
+# ulpdream_resolve_gtest()
+#
+# Makes GTest::gtest_main available, preferring (in order):
+#   1. an installed GTest CMake package,
+#   2. the Debian/Ubuntu source tree at /usr/src/googletest,
+#   3. FetchContent from GitHub (online builds only).
+macro(ulpdream_resolve_gtest)
+  if(NOT TARGET GTest::gtest_main)
+    find_package(GTest CONFIG QUIET)
+  endif()
+  if(NOT TARGET GTest::gtest_main AND EXISTS /usr/src/googletest/CMakeLists.txt)
+    set(INSTALL_GTEST OFF CACHE BOOL "" FORCE)
+    add_subdirectory(/usr/src/googletest
+      ${CMAKE_BINARY_DIR}/_deps/system-googletest EXCLUDE_FROM_ALL)
+    if(TARGET gtest_main AND NOT TARGET GTest::gtest_main)
+      add_library(GTest::gtest_main ALIAS gtest_main)
+      add_library(GTest::gtest ALIAS gtest)
+    endif()
+  endif()
+  if(NOT TARGET GTest::gtest_main)
+    include(FetchContent)
+    FetchContent_Declare(googletest
+      URL https://github.com/google/googletest/archive/refs/tags/v1.14.0.tar.gz
+      DOWNLOAD_EXTRACT_TIMESTAMP ON)
+    set(INSTALL_GTEST OFF CACHE BOOL "" FORCE)
+    FetchContent_MakeAvailable(googletest)
+  endif()
+endmacro()
