@@ -6,9 +6,7 @@
 
 #include <iostream>
 
-#include "ulpdream/apps/dwt_app.hpp"
-#include "ulpdream/ecg/database.hpp"
-#include "ulpdream/sim/parallel_sweep.hpp"
+#include "ulpdream/campaign/engine.hpp"
 #include "ulpdream/sim/policy_explorer.hpp"
 #include "ulpdream/util/cli.hpp"
 #include "ulpdream/util/table.hpp"
@@ -17,21 +15,23 @@ using namespace ulpdream;
 
 int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
-  sim::SweepConfig cfg = sim::SweepConfig::defaults();
-  cfg.runs = static_cast<std::size_t>(cli.get_int("runs", 100));
-  cfg.seed = static_cast<std::uint64_t>(cli.get_int("seed", 2016));
-  const double tolerance = cli.get_double("tolerance-db", 1.0);
 
-  const ecg::Record record = ecg::make_default_record(7);
-  const apps::DwtApp app;
+  // The Sec. VI-C grid as a declarative campaign: DWT x all paper EMTs x
+  // the full voltage window on the default trace.
+  campaign::CampaignSpec spec;
+  spec.apps = {apps::AppKind::kDwt};
+  spec.emts = core::all_emt_kinds();
+  spec.records = {campaign::RecordAxis{ecg::Pathology::kNormalSinus, 1.0, 7}};
+  spec.repetitions = static_cast<std::size_t>(cli.get_int("runs", 100));
+  spec.seed = static_cast<std::uint64_t>(cli.get_int("seed", 2016));
+  const double tolerance = cli.get_double("tolerance-db", 1.0);
 
   const double min_snr = cli.get_double("min-snr-db", 40.0);
 
-  const sim::ParallelSweepRunner runner =
-      sim::ParallelSweepRunner::from_cli(cli);
-  std::cerr << "[policy] sweeping DWT, " << cfg.runs << " runs/point on up to "
-            << runner.threads() << " threads...\n";
-  const sim::SweepResult sweep = runner.run(app, record, cfg);
+  const campaign::CampaignEngine engine = campaign::CampaignEngine::from_cli(cli);
+  std::cerr << "[policy] sweeping DWT, " << spec.repetitions
+            << " runs/point on up to " << engine.threads() << " threads...\n";
+  const sim::SweepResult sweep = engine.run(spec).to_sweep_result(0, 0);
 
   const auto print_policy = [&](const sim::PolicyResult& policy,
                                 const std::string& title,

@@ -1,0 +1,160 @@
+// Declarative experiment campaigns from the command line: describe a grid
+// (apps x EMTs x voltages x records x repetitions), execute it — whole or
+// one shard of a split — and export grouped aggregates as a table, CSV
+// and/or JSON. Results are bit-identical for any --threads value and any
+// --shard split (see tests/campaign_test.cpp).
+//
+// Usage:
+//   campaign [--apps dwt,cs|paper|all] [--emts none,dream,ecc_secded|paper|all]
+//            [--vmin 0.5] [--vmax 0.9] [--step 0.05]
+//            [--pathologies normal_sinus,afib|all] [--noise 1]
+//            [--record-seed 7] [--reps 30] [--seed 2016]
+//            [--ber-model log-linear|probit] [--threads N]
+//            [--group record,app,emt,voltage]
+//            [--csv out.csv] [--json out.json]
+//   # sharded execution across processes:
+//   campaign <axes...> --shard 0/3 --store-out shard0.store
+//   campaign <axes...> --shard 1/3 --store-out shard1.store
+//   campaign <axes...> --shard 2/3 --store-out shard2.store
+//   campaign <axes...> --merge-stores shard0.store,shard1.store,shard2.store
+//            --csv merged.csv
+
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "ulpdream/campaign/engine.hpp"
+#include "ulpdream/util/cli.hpp"
+#include "ulpdream/util/table.hpp"
+
+using namespace ulpdream;
+
+namespace {
+
+campaign::CampaignSpec spec_from_cli(const util::Cli& cli) {
+  campaign::CampaignSpec spec;
+  spec.apps = campaign::parse_app_list(cli.get("apps", "paper"));
+  spec.emts = campaign::parse_emt_list(cli.get("emts", "paper"));
+  spec.voltages = campaign::CampaignSpec::voltage_range(
+      cli.get_double("vmin", 0.5), cli.get_double("vmax", 0.9),
+      cli.get_double("step", 0.05));
+  const auto pathologies = campaign::parse_pathology_list(
+      cli.get("pathologies", "normal_sinus"));
+  const auto record_seed =
+      static_cast<std::uint64_t>(cli.get_int("record-seed", 7));
+  for (const std::string& scale : util::split_list(cli.get("noise", "1"))) {
+    for (ecg::Pathology p : pathologies) {
+      spec.records.push_back(campaign::RecordAxis{
+          p, util::parse_double_exact(scale), record_seed});
+    }
+  }
+  spec.repetitions = static_cast<std::size_t>(cli.get_int("reps", 30));
+  spec.seed = static_cast<std::uint64_t>(cli.get_int("seed", 2016));
+  if (cli.get("ber-model", "log-linear") == "probit") {
+    spec.ber_model = mem::BerModelKind::kProbit;
+  }
+  return spec.normalized();
+}
+
+campaign::Shard shard_from_cli(const util::Cli& cli) {
+  const std::string arg = cli.get("shard", "0/1");
+  const auto slash = arg.find('/');
+  if (slash == std::string::npos) {
+    throw std::invalid_argument("--shard expects I/N, e.g. --shard 0/4");
+  }
+  campaign::Shard shard;
+  shard.index = std::stoull(arg.substr(0, slash));
+  shard.count = std::stoull(arg.substr(slash + 1));
+  return shard;
+}
+
+campaign::GroupBy group_from_cli(const util::Cli& cli) {
+  const std::string arg = cli.get("group", "record,app,emt,voltage");
+  campaign::GroupBy group{false, false, false, false};
+  for (const std::string& axis : util::split_list(arg)) {
+    if (axis == "record") {
+      group.record = true;
+    } else if (axis == "app") {
+      group.app = true;
+    } else if (axis == "emt") {
+      group.emt = true;
+    } else if (axis == "voltage") {
+      group.voltage = true;
+    } else {
+      throw std::invalid_argument(
+          "--group axes: record, app, emt, voltage (got " + axis + ")");
+    }
+  }
+  return group;
+}
+
+void export_aggregates(const util::Cli& cli, const campaign::ResultStore& store) {
+  const auto rows = store.aggregate(group_from_cli(cli));
+  campaign::rows_to_table(
+      rows, "Campaign aggregates (" + std::to_string(rows.size()) + " groups)")
+      .print(std::cout);
+
+  if (const std::string path = cli.get("csv", ""); !path.empty()) {
+    std::ofstream f(path);
+    campaign::write_rows_csv(f, rows);
+    if (!f) throw std::runtime_error("failed to write " + path);
+    std::cerr << "[campaign] wrote " << path << '\n';
+  }
+  if (const std::string path = cli.get("json", ""); !path.empty()) {
+    std::ofstream f(path);
+    campaign::write_rows_json(f, rows);
+    if (!f) throw std::runtime_error("failed to write " + path);
+    std::cerr << "[campaign] wrote " << path << '\n';
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const util::Cli cli(argc, argv);
+    const campaign::CampaignSpec spec = spec_from_cli(cli);
+
+    // Merge mode: reassemble shard stores instead of executing.
+    if (const std::string list = cli.get("merge-stores", ""); !list.empty()) {
+      campaign::ResultStore merged(spec);
+      for (const std::string& path : util::split_list(list)) {
+        std::ifstream f(path);
+        if (!f) throw std::runtime_error("cannot open " + path);
+        merged.merge(campaign::ResultStore::load(f, spec));
+      }
+      export_aggregates(cli, merged);
+      return 0;
+    }
+
+    const campaign::Shard shard = shard_from_cli(cli);
+    const campaign::CampaignEngine engine = campaign::CampaignEngine::from_cli(cli);
+    std::cerr << "[campaign] " << spec.records.size() << " records x "
+              << spec.apps.size() << " apps x " << spec.emts.size()
+              << " emts x " << spec.voltages.size() << " voltages x "
+              << spec.repetitions << " reps = " << spec.item_count()
+              << " items (" << spec.cell_count() << " cells), shard "
+              << shard.index << "/" << shard.count << " on up to "
+              << engine.threads() << " threads\n";
+
+    const campaign::ResultStore store = engine.run(spec, shard);
+
+    if (const std::string path = cli.get("store-out", ""); !path.empty()) {
+      std::ofstream f(path);
+      store.save(f);
+      if (!f) throw std::runtime_error("failed to write " + path);
+      std::cerr << "[campaign] wrote raw store " << path << " ("
+                << store.items_done() << " items)\n";
+    }
+    if (store.complete()) {
+      export_aggregates(cli, store);
+    } else {
+      std::cerr << "[campaign] shard store incomplete by design; merge all "
+                   "shards with --merge-stores to aggregate\n";
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "campaign: " << e.what() << '\n';
+    return 1;
+  }
+}

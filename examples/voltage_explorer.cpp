@@ -1,95 +1,83 @@
 // Interactive trade-off exploration: sweep the data-memory supply for one
 // application and print SNR + energy per EMT — the tool a system designer
 // would use to pick the operating point (paper Sec. VI-C methodology).
+// Runs through the campaign engine: the voltage axis, execution and
+// aggregation all come from ulpdream::campaign instead of a hand-rolled
+// sweep loop.
 //
 // Usage:
-//   voltage_explorer [--app dwt|matrix_filter|cs|morph_filter|delineation]
+//   voltage_explorer [--app dwt|matrix_filter|cs|morph_filter|delineation
+//                           (or a comma list; each app gets its own policy)]
 //                    [--runs 30] [--vmin 0.5] [--vmax 0.9] [--step 0.05]
 //                    [--ber-model log-linear|probit] [--tolerance-db 1]
+//                    [--csv out.csv]
 //                    [--threads N]   (0 = all hardware threads)
 
+#include <fstream>
 #include <iostream>
 #include <string>
 
-#include "ulpdream/apps/app.hpp"
-#include "ulpdream/ecg/database.hpp"
-#include "ulpdream/sim/parallel_sweep.hpp"
+#include "ulpdream/campaign/engine.hpp"
 #include "ulpdream/sim/policy_explorer.hpp"
 #include "ulpdream/util/cli.hpp"
 #include "ulpdream/util/table.hpp"
 
 using namespace ulpdream;
 
-namespace {
-
-apps::AppKind parse_app(const std::string& name) {
-  for (const apps::AppKind kind : apps::all_app_kinds()) {
-    if (name == apps::app_kind_name(kind)) return kind;
-  }
-  throw std::invalid_argument("unknown app: " + name +
-                              " (try dwt, matrix_filter, cs, morph_filter,"
-                              " delineation)");
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
-  const auto app = apps::make_app(parse_app(cli.get("app", "dwt")));
 
-  sim::SweepConfig cfg;
-  const double vmin = cli.get_double("vmin", 0.5);
-  const double vmax = cli.get_double("vmax", 0.9);
-  const double step = cli.get_double("step", 0.05);
-  for (double v = vmin; v <= vmax + 1e-9; v += step) cfg.voltages.push_back(v);
-  cfg.runs = static_cast<std::size_t>(cli.get_int("runs", 30));
-  cfg.emts = core::all_emt_kinds();
+  campaign::CampaignSpec spec;
+  spec.apps = campaign::parse_app_list(cli.get("app", "dwt"));
+  spec.emts = core::all_emt_kinds();
+  spec.voltages = campaign::CampaignSpec::voltage_range(
+      cli.get_double("vmin", 0.5), cli.get_double("vmax", 0.9),
+      cli.get_double("step", 0.05));
+  spec.records = {campaign::RecordAxis{
+      ecg::Pathology::kNormalSinus, 1.0,
+      static_cast<std::uint64_t>(cli.get_int("seed", 7))}};
+  spec.repetitions = static_cast<std::size_t>(cli.get_int("runs", 30));
   if (cli.get("ber-model", "log-linear") == "probit") {
-    cfg.ber_model = mem::BerModelKind::kProbit;
+    spec.ber_model = mem::BerModelKind::kProbit;
   }
 
-  const ecg::Record record = ecg::make_default_record(
-      static_cast<std::uint64_t>(cli.get_int("seed", 7)));
+  const campaign::CampaignEngine engine = campaign::CampaignEngine::from_cli(cli);
+  std::cerr << "sweeping " << spec.apps.size() << " app(s) over ["
+            << spec.voltages.front() << ", " << spec.voltages.back()
+            << "] V, " << spec.repetitions << " runs/point on up to "
+            << engine.threads() << " threads...\n";
+  const campaign::ResultStore store = engine.run(spec);
 
-  const sim::ParallelSweepRunner runner =
-      sim::ParallelSweepRunner::from_cli(cli);
-  std::cerr << "sweeping " << app->name() << " over [" << vmin << ", "
-            << vmax << "] V, " << cfg.runs << " runs/point on up to "
-            << runner.threads() << " threads...\n";
-  const sim::SweepResult res = runner.run(*app, record, cfg);
-
-  std::cout << "App: " << app->name()
-            << "  (max SNR error-free: " << util::fmt(res.max_snr_db, 1)
-            << " dB)\n\n";
-
-  util::Table table("SNR [dB] / energy [uJ] per EMT and voltage");
-  table.set_header({"V", "none_snr", "none_uJ", "dream_snr", "dream_uJ",
-                    "ecc_snr", "ecc_uJ"});
-  for (auto it = cfg.voltages.rbegin(); it != cfg.voltages.rend(); ++it) {
-    const auto* n = res.find(core::EmtKind::kNone, *it);
-    const auto* d = res.find(core::EmtKind::kDream, *it);
-    const auto* e = res.find(core::EmtKind::kEccSecDed, *it);
-    table.add_row({util::fmt(*it, 2), util::fmt(n->snr_mean_db, 1),
-                   util::fmt(n->energy_mean_j * 1e6, 4),
-                   util::fmt(d->snr_mean_db, 1),
-                   util::fmt(d->energy_mean_j * 1e6, 4),
-                   util::fmt(e->snr_mean_db, 1),
-                   util::fmt(e->energy_mean_j * 1e6, 4)});
+  const auto rows = store.aggregate();
+  campaign::rows_to_table(rows, "SNR / energy per EMT and voltage")
+      .print(std::cout);
+  if (const std::string path = cli.get("csv", ""); !path.empty()) {
+    std::ofstream f(path);
+    campaign::write_rows_csv(f, rows);
+    if (!f) {
+      std::cerr << "FAILED to write " << path << '\n';
+      return 1;
+    }
+    std::cerr << "wrote " << path << '\n';
   }
-  table.print(std::cout);
 
   const double tolerance = cli.get_double("tolerance-db", 1.0);
-  const sim::PolicyResult policy = sim::explore_policy(res, tolerance);
-  std::cout << "\nWith a -" << tolerance << " dB tolerance:\n";
-  for (const auto& p : policy.points) {
-    if (!p.feasible) {
-      std::cout << "  " << core::emt_kind_name(p.emt) << ": infeasible\n";
-      continue;
+  for (std::size_t ai = 0; ai < spec.apps.size(); ++ai) {
+    const sim::SweepResult res = store.to_sweep_result(0, ai);
+    std::cout << "\n" << apps::app_kind_name(spec.apps[ai])
+              << " (max SNR error-free: " << util::fmt(res.max_snr_db, 1)
+              << " dB), with a -" << tolerance << " dB tolerance:\n";
+    const sim::PolicyResult policy = sim::explore_policy(res, tolerance);
+    for (const auto& p : policy.points) {
+      if (!p.feasible) {
+        std::cout << "  " << core::emt_kind_name(p.emt) << ": infeasible\n";
+        continue;
+      }
+      std::cout << "  " << core::emt_kind_name(p.emt) << ": safe down to "
+                << util::fmt(p.min_safe_voltage, 2) << " V, saving "
+                << util::fmt(p.savings_vs_nominal_frac * 100.0, 1)
+                << "% vs nominal unprotected\n";
     }
-    std::cout << "  " << core::emt_kind_name(p.emt) << ": safe down to "
-              << util::fmt(p.min_safe_voltage, 2) << " V, saving "
-              << util::fmt(p.savings_vs_nominal_frac * 100.0, 1)
-              << "% vs nominal unprotected\n";
   }
   return 0;
 }

@@ -1,0 +1,60 @@
+#pragma once
+// Sharded execution of campaign grids. The engine expands a CampaignSpec,
+// takes the slice owned by the selected shard, and fans its work items
+// across a std::thread pool (the same work-stealing pattern as
+// sim::ParallelSweepRunner): items are claimed from an atomic counter,
+// each worker owns a private ExperimentRunner, and every item writes a
+// disjoint slice of the ResultStore, so the hot path is synchronisation-
+// free. Item RNG streams are derived purely from (spec.seed, item.index),
+// so the populated store is bit-identical for any thread count; running
+// the shards of any split and merging their stores reproduces the
+// unsharded store exactly.
+
+#include <cstddef>
+
+#include "ulpdream/campaign/result_store.hpp"
+#include "ulpdream/campaign/spec.hpp"
+#include "ulpdream/energy/energy_model.hpp"
+#include "ulpdream/util/cli.hpp"
+
+namespace ulpdream::campaign {
+
+/// Which slice of the campaign this process executes. The default (0 of 1)
+/// is the whole grid.
+struct Shard {
+  std::size_t index = 0;
+  std::size_t count = 1;
+};
+
+class CampaignEngine {
+ public:
+  /// `threads` == 0 picks std::thread::hardware_concurrency().
+  explicit CampaignEngine(
+      energy::SystemEnergyModel energy_model = energy::SystemEnergyModel(),
+      unsigned threads = 0);
+
+  /// Builds an engine from the shared `--threads N` CLI convention
+  /// (0 or negative selects all hardware threads).
+  [[nodiscard]] static CampaignEngine from_cli(
+      const util::Cli& cli,
+      energy::SystemEnergyModel energy_model = energy::SystemEnergyModel());
+
+  /// Executes the shard's slice of the (normalized) spec. The returned
+  /// store is complete when shard.count == 1; otherwise merge the sibling
+  /// shards' stores before aggregating. Every shard also computes the
+  /// per-(record, app) clean-run SNR ceilings (cheap, deterministic), so
+  /// any shard's store carries them.
+  [[nodiscard]] ResultStore run(const CampaignSpec& spec,
+                                Shard shard = Shard{}) const;
+
+  [[nodiscard]] unsigned threads() const noexcept { return threads_; }
+  [[nodiscard]] const energy::SystemEnergyModel& energy_model() const {
+    return energy_model_;
+  }
+
+ private:
+  energy::SystemEnergyModel energy_model_;
+  unsigned threads_ = 1;
+};
+
+}  // namespace ulpdream::campaign

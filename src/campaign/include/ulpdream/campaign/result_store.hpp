@@ -1,0 +1,144 @@
+#pragma once
+// Accumulation side of the campaign engine. A ResultStore holds the raw
+// per-(item, app, EMT) samples of one campaign, keyed by the spec's
+// canonical item order, so that:
+//  - shards merge losslessly (a shard's store records exactly the items
+//    that shard executed; merging the shards of any split reconstructs
+//    the full store bit-for-bit);
+//  - aggregation folds samples in canonical item order regardless of the
+//    order threads produced them, making every derived statistic
+//    bit-identical for any thread count or shard split.
+// Aggregates export as machine-readable CSV/JSON (loss-free round trip
+// via shortest-round-trip doubles) and bridge into sim::SweepResult so
+// the Sec. VI-C policy explorer runs unchanged on campaign output.
+//
+// Storage is a dense full-grid array (item_count x apps x emts) even in
+// shard stores that execute only a slice — simple, and O(1) slot lookup
+// keeps the hot path synchronisation-free, but per-process memory does
+// not shrink with the shard count. Campaigns of ~10^6+ items want a
+// sparse shard layout (see ROADMAP).
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "ulpdream/campaign/spec.hpp"
+#include "ulpdream/energy/energy_model.hpp"
+#include "ulpdream/sim/voltage_sweep.hpp"
+#include "ulpdream/util/table.hpp"
+
+namespace ulpdream::campaign {
+
+/// One application run's raw outcome (the campaign-grid analogue of
+/// sim::RunResult, flattened for dense storage).
+struct Sample {
+  double snr_db = 0.0;
+  energy::EnergyBreakdown energy{};
+  double corrected_words = 0.0;
+  double detected_uncorrectable = 0.0;
+};
+
+/// Which axes to group by; ungrouped axes are marginalized (their label
+/// exports as "*"). Default: the full (record, app, emt, voltage) grid.
+struct GroupBy {
+  bool record = true;
+  bool app = true;
+  bool emt = true;
+  bool voltage = true;
+};
+
+/// One aggregated output row. `voltage` is NaN when marginalized.
+struct AggregateRow {
+  std::string record = "*";
+  std::string app = "*";
+  std::string emt = "*";
+  double voltage = 0.0;
+  std::size_t n = 0;
+  double snr_mean_db = 0.0;
+  double snr_stddev_db = 0.0;
+  double snr_min_db = 0.0;
+  double snr_max_db = 0.0;
+  double snr_p10_db = 0.0;
+  double energy_mean_j = 0.0;
+  double data_dynamic_j = 0.0;  ///< mean per-run breakdown components
+  double side_dynamic_j = 0.0;
+  double codec_j = 0.0;
+  double data_leak_j = 0.0;
+  double side_leak_j = 0.0;
+  double corrected_mean = 0.0;
+  double detected_mean = 0.0;
+};
+
+class ResultStore {
+ public:
+  ResultStore() = default;
+  /// `spec` must already be normalized (the engine guarantees this).
+  explicit ResultStore(CampaignSpec spec);
+
+  [[nodiscard]] const CampaignSpec& spec() const noexcept { return spec_; }
+
+  /// Records the samples of one executed item, in (app-major, EMT-minor)
+  /// order. Thread-safe for *distinct* items: every item owns a disjoint
+  /// preallocated slice.
+  void record_item(const WorkItem& item, const std::vector<Sample>& samples);
+
+  /// Clean-run ceiling per (record, app) — the Fig. 4 dashed line.
+  void set_max_snr(std::size_t record_index, std::size_t app_index,
+                   double snr_db);
+  [[nodiscard]] double max_snr_db(std::size_t record_index,
+                                  std::size_t app_index) const;
+
+  [[nodiscard]] std::size_t items_done() const noexcept;
+  [[nodiscard]] bool complete() const noexcept;
+
+  /// Folds another shard of the *same* campaign into this store. Throws
+  /// std::invalid_argument on a spec fingerprint mismatch.
+  void merge(const ResultStore& other);
+
+  /// Grouped aggregation in canonical axis order. Throws std::logic_error
+  /// when the store is incomplete (a shard store must be merged with its
+  /// siblings first).
+  [[nodiscard]] std::vector<AggregateRow> aggregate(
+      const GroupBy& group = GroupBy{}) const;
+
+  /// Bridge to the policy explorer: the (record, app) slice of a complete
+  /// store as a sim::SweepResult (same statistics the serial sweep fills).
+  [[nodiscard]] sim::SweepResult to_sweep_result(std::size_t record_index,
+                                                 std::size_t app_index) const;
+
+  /// Raw-store persistence (shortest-round-trip doubles, done items only):
+  /// the cross-process sharding path. Each shard process saves its store;
+  /// a merge process reloads them against the same spec and aggregates.
+  /// load() throws std::invalid_argument when the stream's fingerprint
+  /// does not match `spec` (after normalization).
+  void save(std::ostream& os) const;
+  [[nodiscard]] static ResultStore load(std::istream& is,
+                                        const CampaignSpec& spec);
+
+ private:
+  [[nodiscard]] std::size_t slot(const WorkItem& item) const noexcept {
+    return item.index * spec_.apps.size() * spec_.emts.size();
+  }
+
+  CampaignSpec spec_;
+  std::vector<Sample> samples_;  ///< item-major, then app-major, EMT-minor
+  std::vector<char> item_done_;
+  std::vector<double> max_snr_;  ///< record-major x apps, NaN until set
+};
+
+/// Aggregate-row serialization. Column order is fixed and documented by
+/// aggregate_csv_header(); doubles use shortest-round-trip formatting so
+/// write -> read reproduces the exact values.
+[[nodiscard]] const std::vector<std::string>& aggregate_csv_header();
+void write_rows_csv(std::ostream& os, const std::vector<AggregateRow>& rows);
+[[nodiscard]] std::vector<AggregateRow> read_rows_csv(std::istream& is);
+void write_rows_json(std::ostream& os, const std::vector<AggregateRow>& rows);
+[[nodiscard]] std::vector<AggregateRow> read_rows_json(std::istream& is);
+
+/// Pretty-printed view of aggregate rows (human-facing counterpart of the
+/// CSV export).
+[[nodiscard]] util::Table rows_to_table(const std::vector<AggregateRow>& rows,
+                                        const std::string& title);
+
+}  // namespace ulpdream::campaign

@@ -1,0 +1,102 @@
+#pragma once
+// Declarative experiment grids. A CampaignSpec names the axes of one
+// campaign — applications x EMTs x supply voltages x ECG records x
+// Monte-Carlo repetitions — and expands into a flat, canonically-ordered
+// list of WorkItems. Every item owns a mix64-derived RNG seed that depends
+// only on (spec.seed, item.index), never on which shard or thread executes
+// it, so a campaign's results are bit-identical for any shard split and
+// any thread count. This is the generalization of the paper's Fig. 2 /
+// Fig. 4 / policy grids (app x EMT x V x record x noise) into one
+// first-class, resumable description.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ulpdream/apps/app.hpp"
+#include "ulpdream/core/factory.hpp"
+#include "ulpdream/ecg/generator.hpp"
+#include "ulpdream/mem/ber_model.hpp"
+
+namespace ulpdream::campaign {
+
+/// One point on the record axis: a synthetic patient trace identified by
+/// pathology, an overall noise scale (multiplies every NoiseParams
+/// amplitude — the "noise level" axis), and a generator seed.
+struct RecordAxis {
+  ecg::Pathology pathology = ecg::Pathology::kNormalSinus;
+  double noise_scale = 1.0;
+  std::uint64_t seed = 7;
+
+  /// Stable identifier used in exports, e.g. "normal_sinus_n1_s7".
+  [[nodiscard]] std::string label() const;
+};
+
+struct CampaignSpec {
+  std::vector<apps::AppKind> apps;      ///< default: the paper's five
+  std::vector<core::EmtKind> emts;      ///< default: none, DREAM, ECC
+  std::vector<double> voltages;         ///< default: 0.50..0.90 step 0.05
+  std::vector<RecordAxis> records;      ///< default: one normal-sinus trace
+  std::size_t repetitions = 30;         ///< Monte-Carlo fault maps per cell
+  std::uint64_t seed = 2016;
+  mem::BerModelKind ber_model = mem::BerModelKind::kLogLinear;
+  /// Record-generation front-end shared by every RecordAxis entry.
+  double fs_hz = 250.0;
+  double duration_s = 8.2;
+
+  /// Copy with empty axes replaced by the defaults above and
+  /// repetitions clamped to >= 1.
+  [[nodiscard]] CampaignSpec normalized() const;
+
+  /// Inclusive voltage range helper, e.g. voltage_range(0.5, 0.9, 0.05).
+  [[nodiscard]] static std::vector<double> voltage_range(double vmin,
+                                                         double vmax,
+                                                         double step);
+
+  /// Work items in the full expansion: records x voltages x repetitions.
+  /// (Apps and EMTs run *inside* one item so every (app, EMT) pair sees
+  /// the same fault map — the paper's Sec. V fairness protocol.)
+  [[nodiscard]] std::size_t item_count() const;
+
+  /// Aggregation cells: records x apps x emts x voltages.
+  [[nodiscard]] std::size_t cell_count() const;
+
+  /// Canonical textual identity of the grid; two stores merge only when
+  /// their spec fingerprints match.
+  [[nodiscard]] std::string fingerprint() const;
+};
+
+/// One schedulable unit: one Monte-Carlo fault map at one (record,
+/// voltage) point, evaluated for every (app, EMT) pair of the spec.
+struct WorkItem {
+  std::size_t index = 0;  ///< canonical position in the full expansion
+  std::size_t record_index = 0;
+  std::size_t voltage_index = 0;
+  std::size_t rep_index = 0;
+  std::uint64_t seed = 0;  ///< mix64(spec.seed, index)
+};
+
+/// Expands a normalized spec into its full canonical item list:
+/// index = (record * n_voltages + voltage) * repetitions + rep.
+[[nodiscard]] std::vector<WorkItem> expand(const CampaignSpec& spec);
+
+/// The slice of the expansion owned by shard `shard_index` of
+/// `shard_count` (strided assignment: item.index % count == index).
+/// Throws std::invalid_argument on an invalid shard selection.
+[[nodiscard]] std::vector<WorkItem> expand_shard(const CampaignSpec& spec,
+                                                 std::size_t shard_index,
+                                                 std::size_t shard_count);
+
+/// Axis-list parsers for CLI drivers. Each accepts a comma-separated list
+/// of names, or "paper" (the paper's evaluated set) or "all" (paper +
+/// this library's extensions). Throws std::invalid_argument with the
+/// valid names on unknown input.
+[[nodiscard]] std::vector<apps::AppKind> parse_app_list(
+    const std::string& list);
+[[nodiscard]] std::vector<core::EmtKind> parse_emt_list(
+    const std::string& list);
+[[nodiscard]] std::vector<ecg::Pathology> parse_pathology_list(
+    const std::string& list);
+
+}  // namespace ulpdream::campaign

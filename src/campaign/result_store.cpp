@@ -1,0 +1,624 @@
+#include "ulpdream/campaign/result_store.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <istream>
+#include <iterator>
+#include <limits>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "ulpdream/util/stats.hpp"
+
+namespace ulpdream::campaign {
+
+namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+
+/// Per-group fold state (same shape as the sweep's CellAccum).
+struct GroupAccum {
+  util::RunningStats snr;
+  util::QuantileSketch snr_quantiles;
+  util::RunningStats energy;
+  energy::EnergyBreakdown energy_sum{};
+  util::RunningStats corrected;
+  util::RunningStats detected;
+
+  void add(const Sample& s) {
+    snr.add(s.snr_db);
+    snr_quantiles.add(s.snr_db);
+    energy.add(s.energy.total_j());
+    energy_sum.data_dynamic_j += s.energy.data_dynamic_j;
+    energy_sum.side_dynamic_j += s.energy.side_dynamic_j;
+    energy_sum.codec_j += s.energy.codec_j;
+    energy_sum.data_leak_j += s.energy.data_leak_j;
+    energy_sum.side_leak_j += s.energy.side_leak_j;
+    corrected.add(s.corrected_words);
+    detected.add(s.detected_uncorrectable);
+  }
+};
+
+}  // namespace
+
+ResultStore::ResultStore(CampaignSpec spec) : spec_(std::move(spec)) {
+  samples_.resize(spec_.item_count() * spec_.apps.size() * spec_.emts.size());
+  item_done_.assign(spec_.item_count(), 0);
+  max_snr_.assign(spec_.records.size() * spec_.apps.size(), kNan);
+}
+
+void ResultStore::record_item(const WorkItem& item,
+                              const std::vector<Sample>& samples) {
+  const std::size_t per_item = spec_.apps.size() * spec_.emts.size();
+  if (item.index >= item_done_.size() || samples.size() != per_item) {
+    throw std::invalid_argument("ResultStore::record_item: bad item/samples");
+  }
+  const std::size_t base = slot(item);
+  for (std::size_t i = 0; i < per_item; ++i) samples_[base + i] = samples[i];
+  item_done_[item.index] = 1;
+}
+
+void ResultStore::set_max_snr(std::size_t record_index, std::size_t app_index,
+                              double snr_db) {
+  max_snr_.at(record_index * spec_.apps.size() + app_index) = snr_db;
+}
+
+double ResultStore::max_snr_db(std::size_t record_index,
+                               std::size_t app_index) const {
+  return max_snr_.at(record_index * spec_.apps.size() + app_index);
+}
+
+std::size_t ResultStore::items_done() const noexcept {
+  std::size_t n = 0;
+  for (char done : item_done_) n += done ? 1 : 0;
+  return n;
+}
+
+bool ResultStore::complete() const noexcept {
+  return items_done() == item_done_.size();
+}
+
+void ResultStore::merge(const ResultStore& other) {
+  if (spec_.fingerprint() != other.spec_.fingerprint()) {
+    throw std::invalid_argument("ResultStore::merge: spec mismatch");
+  }
+  const std::size_t per_item = spec_.apps.size() * spec_.emts.size();
+  for (std::size_t item = 0; item < item_done_.size(); ++item) {
+    if (!other.item_done_[item] || item_done_[item]) continue;
+    const std::size_t base = item * per_item;
+    for (std::size_t i = 0; i < per_item; ++i) {
+      samples_[base + i] = other.samples_[base + i];
+    }
+    item_done_[item] = 1;
+  }
+  for (std::size_t i = 0; i < max_snr_.size(); ++i) {
+    if (std::isnan(max_snr_[i])) max_snr_[i] = other.max_snr_[i];
+  }
+}
+
+std::vector<AggregateRow> ResultStore::aggregate(const GroupBy& group) const {
+  if (!complete()) {
+    throw std::logic_error(
+        "ResultStore::aggregate: store incomplete — merge all shards first");
+  }
+  const std::size_t na = spec_.apps.size();
+  const std::size_t ne = spec_.emts.size();
+  const std::size_t nv = spec_.voltages.size();
+  const std::size_t reps = spec_.repetitions;
+
+  const std::size_t gr = group.record ? spec_.records.size() : 1;
+  const std::size_t ga = group.app ? na : 1;
+  const std::size_t ge = group.emt ? ne : 1;
+  const std::size_t gv = group.voltage ? nv : 1;
+  std::vector<GroupAccum> accums(gr * ga * ge * gv);
+
+  // Canonical fold order: item index major, then app, then EMT — exactly
+  // the storage layout, so this is a linear walk and every group receives
+  // its samples in the same order however the campaign was executed.
+  for (std::size_t item = 0; item < item_done_.size(); ++item) {
+    const std::size_t ri = item / (nv * reps);
+    const std::size_t vi = (item / reps) % nv;
+    const std::size_t base = item * na * ne;
+    for (std::size_t ai = 0; ai < na; ++ai) {
+      for (std::size_t ei = 0; ei < ne; ++ei) {
+        const std::size_t gi =
+            ((((group.record ? ri : 0) * ga + (group.app ? ai : 0)) * ge +
+              (group.emt ? ei : 0)) *
+             gv) +
+            (group.voltage ? vi : 0);
+        accums[gi].add(samples_[base + ai * ne + ei]);
+      }
+    }
+  }
+
+  std::vector<AggregateRow> rows;
+  rows.reserve(accums.size());
+  for (std::size_t ri = 0; ri < gr; ++ri) {
+    for (std::size_t ai = 0; ai < ga; ++ai) {
+      for (std::size_t ei = 0; ei < ge; ++ei) {
+        for (std::size_t vi = 0; vi < gv; ++vi) {
+          const GroupAccum& a = accums[((ri * ga + ai) * ge + ei) * gv + vi];
+          AggregateRow row;
+          if (group.record) row.record = spec_.records[ri].label();
+          if (group.app) row.app = apps::app_kind_name(spec_.apps[ai]);
+          if (group.emt) row.emt = core::emt_kind_name(spec_.emts[ei]);
+          row.voltage = group.voltage ? spec_.voltages[vi] : kNan;
+          row.n = a.snr.count();
+          row.snr_mean_db = a.snr.mean();
+          row.snr_stddev_db = a.snr.stddev();
+          row.snr_min_db = a.snr.min();
+          row.snr_max_db = a.snr.max();
+          row.snr_p10_db = a.snr_quantiles.quantile(0.10);
+          row.energy_mean_j = a.energy.mean();
+          const double n = static_cast<double>(a.snr.count());
+          row.data_dynamic_j = a.energy_sum.data_dynamic_j / n;
+          row.side_dynamic_j = a.energy_sum.side_dynamic_j / n;
+          row.codec_j = a.energy_sum.codec_j / n;
+          row.data_leak_j = a.energy_sum.data_leak_j / n;
+          row.side_leak_j = a.energy_sum.side_leak_j / n;
+          row.corrected_mean = a.corrected.mean();
+          row.detected_mean = a.detected.mean();
+          rows.push_back(std::move(row));
+        }
+      }
+    }
+  }
+  return rows;
+}
+
+sim::SweepResult ResultStore::to_sweep_result(std::size_t record_index,
+                                              std::size_t app_index) const {
+  if (!complete()) {
+    throw std::logic_error("ResultStore::to_sweep_result: store incomplete");
+  }
+  if (record_index >= spec_.records.size() ||
+      app_index >= spec_.apps.size()) {
+    throw std::invalid_argument("ResultStore::to_sweep_result: bad index");
+  }
+  const std::size_t na = spec_.apps.size();
+  const std::size_t ne = spec_.emts.size();
+  const std::size_t nv = spec_.voltages.size();
+  const std::size_t reps = spec_.repetitions;
+  const auto ber_model = mem::make_ber_model(spec_.ber_model);
+
+  sim::SweepResult result;
+  result.config.voltages = spec_.voltages;
+  result.config.runs = reps;
+  result.config.seed = spec_.seed;
+  result.config.ber_model = spec_.ber_model;
+  result.config.emts = spec_.emts;
+  result.max_snr_db = max_snr_db(record_index, app_index);
+
+  for (std::size_t vi = 0; vi < nv; ++vi) {
+    for (std::size_t ei = 0; ei < ne; ++ei) {
+      GroupAccum a;
+      for (std::size_t rep = 0; rep < reps; ++rep) {
+        const std::size_t item = (record_index * nv + vi) * reps + rep;
+        a.add(samples_[item * na * ne + app_index * ne + ei]);
+      }
+      sim::SweepPoint p;
+      p.app = spec_.apps[app_index];
+      p.emt = spec_.emts[ei];
+      p.voltage = spec_.voltages[vi];
+      p.ber = ber_model->ber(p.voltage);
+      p.snr_mean_db = a.snr.mean();
+      p.snr_stddev_db = a.snr.stddev();
+      p.snr_min_db = a.snr.min();
+      p.snr_p10_db = a.snr_quantiles.quantile(0.10);
+      p.energy_mean_j = a.energy.mean();
+      const double n = static_cast<double>(a.snr.count());
+      p.energy_mean.data_dynamic_j = a.energy_sum.data_dynamic_j / n;
+      p.energy_mean.side_dynamic_j = a.energy_sum.side_dynamic_j / n;
+      p.energy_mean.codec_j = a.energy_sum.codec_j / n;
+      p.energy_mean.data_leak_j = a.energy_sum.data_leak_j / n;
+      p.energy_mean.side_leak_j = a.energy_sum.side_leak_j / n;
+      p.corrected_words_mean = a.corrected.mean();
+      p.detected_uncorrectable_mean = a.detected.mean();
+      result.points.push_back(p);
+    }
+  }
+  return result;
+}
+
+void ResultStore::save(std::ostream& os) const {
+  os << "ulpdream-campaign-store v1\n";
+  os << "fingerprint " << spec_.fingerprint() << '\n';
+  os << "max_snr";
+  for (double v : max_snr_) os << ' ' << util::fmt_exact(v);
+  os << '\n';
+  const std::size_t per_item = spec_.apps.size() * spec_.emts.size();
+  for (std::size_t item = 0; item < item_done_.size(); ++item) {
+    if (!item_done_[item]) continue;
+    os << "item " << item;
+    for (std::size_t i = 0; i < per_item; ++i) {
+      const Sample& s = samples_[item * per_item + i];
+      os << ' ' << util::fmt_exact(s.snr_db) << ' '
+         << util::fmt_exact(s.energy.data_dynamic_j) << ' '
+         << util::fmt_exact(s.energy.side_dynamic_j) << ' '
+         << util::fmt_exact(s.energy.codec_j) << ' '
+         << util::fmt_exact(s.energy.data_leak_j) << ' '
+         << util::fmt_exact(s.energy.side_leak_j) << ' '
+         << util::fmt_exact(s.corrected_words) << ' '
+         << util::fmt_exact(s.detected_uncorrectable);
+    }
+    os << '\n';
+  }
+  os << "end\n";
+}
+
+ResultStore ResultStore::load(std::istream& is, const CampaignSpec& spec) {
+  auto fail = [](const std::string& what) -> void {
+    throw std::invalid_argument("ResultStore::load: " + what);
+  };
+  ResultStore store(spec.normalized());
+
+  std::string line;
+  if (!std::getline(is, line) || line != "ulpdream-campaign-store v1") {
+    fail("bad magic");
+  }
+  if (!std::getline(is, line) ||
+      line != "fingerprint " + store.spec_.fingerprint()) {
+    fail("spec fingerprint mismatch");
+  }
+  if (!std::getline(is, line) || line.rfind("max_snr", 0) != 0) {
+    fail("missing max_snr");
+  }
+  {
+    std::istringstream ls(line.substr(7));
+    std::string tok;
+    for (double& v : store.max_snr_) {
+      if (!(ls >> tok)) fail("short max_snr line");
+      v = tok == "nan" ? kNan : util::parse_double_exact(tok);
+    }
+  }
+  const std::size_t per_item = store.spec_.apps.size() *
+                               store.spec_.emts.size();
+  while (std::getline(is, line)) {
+    if (line == "end") return store;
+    if (line.rfind("item ", 0) != 0) fail("bad line: " + line);
+    std::istringstream ls(line.substr(5));
+    std::size_t index = 0;
+    if (!(ls >> index) || index >= store.item_done_.size()) {
+      fail("bad item index");
+    }
+    std::string tok;
+    for (std::size_t i = 0; i < per_item; ++i) {
+      Sample& s = store.samples_[index * per_item + i];
+      auto next = [&]() -> double {
+        if (!(ls >> tok)) fail("short item line");
+        return util::parse_double_exact(tok);
+      };
+      s.snr_db = next();
+      s.energy.data_dynamic_j = next();
+      s.energy.side_dynamic_j = next();
+      s.energy.codec_j = next();
+      s.energy.data_leak_j = next();
+      s.energy.side_leak_j = next();
+      s.corrected_words = next();
+      s.detected_uncorrectable = next();
+    }
+    store.item_done_[index] = 1;
+  }
+  fail("missing end marker");
+  return store;  // unreachable
+}
+
+// ---------------------------------------------------------------------------
+// Serialization.
+
+namespace {
+
+std::string fmt_voltage(double v) {
+  return std::isnan(v) ? "*" : util::fmt_exact(v);
+}
+
+double parse_voltage(const std::string& cell) {
+  return cell == "*" ? kNan : util::parse_double_exact(cell);
+}
+
+std::vector<std::string> row_cells(const AggregateRow& r) {
+  return {r.record,
+          r.app,
+          r.emt,
+          fmt_voltage(r.voltage),
+          std::to_string(r.n),
+          util::fmt_exact(r.snr_mean_db),
+          util::fmt_exact(r.snr_stddev_db),
+          util::fmt_exact(r.snr_min_db),
+          util::fmt_exact(r.snr_max_db),
+          util::fmt_exact(r.snr_p10_db),
+          util::fmt_exact(r.energy_mean_j),
+          util::fmt_exact(r.data_dynamic_j),
+          util::fmt_exact(r.side_dynamic_j),
+          util::fmt_exact(r.codec_j),
+          util::fmt_exact(r.data_leak_j),
+          util::fmt_exact(r.side_leak_j),
+          util::fmt_exact(r.corrected_mean),
+          util::fmt_exact(r.detected_mean)};
+}
+
+AggregateRow row_from_cells(const std::vector<std::string>& cells) {
+  if (cells.size() != aggregate_csv_header().size()) {
+    throw std::invalid_argument("read_rows_csv: wrong column count");
+  }
+  AggregateRow r;
+  std::size_t c = 0;
+  r.record = cells[c++];
+  r.app = cells[c++];
+  r.emt = cells[c++];
+  r.voltage = parse_voltage(cells[c++]);
+  r.n = static_cast<std::size_t>(std::stoull(cells[c++]));
+  r.snr_mean_db = util::parse_double_exact(cells[c++]);
+  r.snr_stddev_db = util::parse_double_exact(cells[c++]);
+  r.snr_min_db = util::parse_double_exact(cells[c++]);
+  r.snr_max_db = util::parse_double_exact(cells[c++]);
+  r.snr_p10_db = util::parse_double_exact(cells[c++]);
+  r.energy_mean_j = util::parse_double_exact(cells[c++]);
+  r.data_dynamic_j = util::parse_double_exact(cells[c++]);
+  r.side_dynamic_j = util::parse_double_exact(cells[c++]);
+  r.codec_j = util::parse_double_exact(cells[c++]);
+  r.data_leak_j = util::parse_double_exact(cells[c++]);
+  r.side_leak_j = util::parse_double_exact(cells[c++]);
+  r.corrected_mean = util::parse_double_exact(cells[c++]);
+  r.detected_mean = util::parse_double_exact(cells[c++]);
+  return r;
+}
+
+}  // namespace
+
+const std::vector<std::string>& aggregate_csv_header() {
+  static const std::vector<std::string> kHeader = {
+      "record",        "app",
+      "emt",           "voltage",
+      "n",             "snr_mean_db",
+      "snr_stddev_db", "snr_min_db",
+      "snr_max_db",    "snr_p10_db",
+      "energy_mean_j", "data_dynamic_j",
+      "side_dynamic_j", "codec_j",
+      "data_leak_j",   "side_leak_j",
+      "corrected_mean", "detected_mean"};
+  return kHeader;
+}
+
+void write_rows_csv(std::ostream& os, const std::vector<AggregateRow>& rows) {
+  util::CsvWriter csv(os);
+  csv.write_row(aggregate_csv_header());
+  for (const AggregateRow& r : rows) csv.write_row(row_cells(r));
+}
+
+std::vector<AggregateRow> read_rows_csv(std::istream& is) {
+  const auto parsed = util::parse_csv(is);
+  if (parsed.empty() || parsed.front() != aggregate_csv_header()) {
+    throw std::invalid_argument("read_rows_csv: missing/unknown header");
+  }
+  std::vector<AggregateRow> rows;
+  rows.reserve(parsed.size() - 1);
+  for (std::size_t i = 1; i < parsed.size(); ++i) {
+    rows.push_back(row_from_cells(parsed[i]));
+  }
+  return rows;
+}
+
+// Minimal JSON layer, restricted to the flat document this module emits:
+// {"rows": [{<string|number|null fields>}, ...]}.
+
+namespace {
+
+void json_escape(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (char ch : s) {
+    switch (ch) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      case '\r': os << "\\r"; break;
+      default: os << ch; break;
+    }
+  }
+  os << '"';
+}
+
+struct JsonParser {
+  const std::string& text;
+  std::size_t pos = 0;
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::invalid_argument("read_rows_json: " + what + " at offset " +
+                                std::to_string(pos));
+  }
+  void skip_ws() {
+    while (pos < text.size() && (text[pos] == ' ' || text[pos] == '\t' ||
+                                 text[pos] == '\n' || text[pos] == '\r')) {
+      ++pos;
+    }
+  }
+  char peek() {
+    skip_ws();
+    if (pos >= text.size()) fail("unexpected end");
+    return text[pos];
+  }
+  void expect(char ch) {
+    if (peek() != ch) fail(std::string("expected '") + ch + "'");
+    ++pos;
+  }
+  bool consume(char ch) {
+    if (peek() != ch) return false;
+    ++pos;
+    return true;
+  }
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (pos < text.size() && text[pos] != '"') {
+      char ch = text[pos++];
+      if (ch == '\\') {
+        if (pos >= text.size()) fail("bad escape");
+        switch (text[pos++]) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'n': out.push_back('\n'); break;
+          case 't': out.push_back('\t'); break;
+          case 'r': out.push_back('\r'); break;
+          default: fail("unsupported escape");
+        }
+      } else {
+        out.push_back(ch);
+      }
+    }
+    if (pos >= text.size()) fail("unterminated string");
+    ++pos;  // closing quote
+    return out;
+  }
+  /// Number or null (the only non-string values this format uses);
+  /// null decodes as NaN.
+  double parse_number_or_null() {
+    skip_ws();
+    if (text.compare(pos, 4, "null") == 0) {
+      pos += 4;
+      return kNan;
+    }
+    const std::size_t start = pos;
+    while (pos < text.size() &&
+           (std::isdigit(static_cast<unsigned char>(text[pos])) ||
+            text[pos] == '-' || text[pos] == '+' || text[pos] == '.' ||
+            text[pos] == 'e' || text[pos] == 'E')) {
+      ++pos;
+    }
+    if (pos == start) fail("expected number");
+    return util::parse_double_exact(text.substr(start, pos - start));
+  }
+};
+
+}  // namespace
+
+void write_rows_json(std::ostream& os, const std::vector<AggregateRow>& rows) {
+  auto num = [&](const char* key, double v, bool last = false) {
+    os << '"' << key << "\":";
+    if (std::isnan(v)) {
+      os << "null";
+    } else {
+      os << util::fmt_exact(v);
+    }
+    if (!last) os << ',';
+  };
+  os << "{\"rows\":[";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const AggregateRow& r = rows[i];
+    if (i) os << ',';
+    os << "\n{";
+    os << "\"record\":";
+    json_escape(os, r.record);
+    os << ",\"app\":";
+    json_escape(os, r.app);
+    os << ",\"emt\":";
+    json_escape(os, r.emt);
+    os << ',';
+    num("voltage", r.voltage);
+    os << "\"n\":" << r.n << ',';
+    num("snr_mean_db", r.snr_mean_db);
+    num("snr_stddev_db", r.snr_stddev_db);
+    num("snr_min_db", r.snr_min_db);
+    num("snr_max_db", r.snr_max_db);
+    num("snr_p10_db", r.snr_p10_db);
+    num("energy_mean_j", r.energy_mean_j);
+    num("data_dynamic_j", r.data_dynamic_j);
+    num("side_dynamic_j", r.side_dynamic_j);
+    num("codec_j", r.codec_j);
+    num("data_leak_j", r.data_leak_j);
+    num("side_leak_j", r.side_leak_j);
+    num("corrected_mean", r.corrected_mean);
+    num("detected_mean", r.detected_mean, /*last=*/true);
+    os << '}';
+  }
+  os << "\n]}\n";
+}
+
+std::vector<AggregateRow> read_rows_json(std::istream& is) {
+  const std::string text(std::istreambuf_iterator<char>(is), {});
+  JsonParser p{text};
+  p.expect('{');
+  if (p.parse_string() != "rows") p.fail("expected \"rows\" key");
+  p.expect(':');
+  p.expect('[');
+  std::vector<AggregateRow> rows;
+  if (!p.consume(']')) {
+    do {
+      p.expect('{');
+      AggregateRow r;
+      do {
+        const std::string key = p.parse_string();
+        p.expect(':');
+        if (key == "record") {
+          r.record = p.parse_string();
+        } else if (key == "app") {
+          r.app = p.parse_string();
+        } else if (key == "emt") {
+          r.emt = p.parse_string();
+        } else if (key == "voltage") {
+          r.voltage = p.parse_number_or_null();
+        } else if (key == "n") {
+          const double n = p.parse_number_or_null();
+          if (std::isnan(n) || n < 0.0 || n != std::floor(n)) {
+            p.fail("\"n\" must be a non-negative integer");
+          }
+          r.n = static_cast<std::size_t>(n);
+        } else if (key == "snr_mean_db") {
+          r.snr_mean_db = p.parse_number_or_null();
+        } else if (key == "snr_stddev_db") {
+          r.snr_stddev_db = p.parse_number_or_null();
+        } else if (key == "snr_min_db") {
+          r.snr_min_db = p.parse_number_or_null();
+        } else if (key == "snr_max_db") {
+          r.snr_max_db = p.parse_number_or_null();
+        } else if (key == "snr_p10_db") {
+          r.snr_p10_db = p.parse_number_or_null();
+        } else if (key == "energy_mean_j") {
+          r.energy_mean_j = p.parse_number_or_null();
+        } else if (key == "data_dynamic_j") {
+          r.data_dynamic_j = p.parse_number_or_null();
+        } else if (key == "side_dynamic_j") {
+          r.side_dynamic_j = p.parse_number_or_null();
+        } else if (key == "codec_j") {
+          r.codec_j = p.parse_number_or_null();
+        } else if (key == "data_leak_j") {
+          r.data_leak_j = p.parse_number_or_null();
+        } else if (key == "side_leak_j") {
+          r.side_leak_j = p.parse_number_or_null();
+        } else if (key == "corrected_mean") {
+          r.corrected_mean = p.parse_number_or_null();
+        } else if (key == "detected_mean") {
+          r.detected_mean = p.parse_number_or_null();
+        } else {
+          p.fail("unknown key: " + key);
+        }
+      } while (p.consume(','));
+      p.expect('}');
+      rows.push_back(std::move(r));
+    } while (p.consume(','));
+    p.expect(']');
+  }
+  p.expect('}');
+  return rows;
+}
+
+util::Table rows_to_table(const std::vector<AggregateRow>& rows,
+                          const std::string& title) {
+  util::Table table(title);
+  table.set_header({"record", "app", "emt", "V", "n", "snr_dB", "sd_dB",
+                    "p10_dB", "energy_uJ", "corr", "det"});
+  for (const AggregateRow& r : rows) {
+    table.add_row({r.record, r.app, r.emt, fmt_voltage(r.voltage),
+                   std::to_string(r.n), util::fmt(r.snr_mean_db, 1),
+                   util::fmt(r.snr_stddev_db, 1), util::fmt(r.snr_p10_db, 1),
+                   util::fmt(r.energy_mean_j * 1e6, 4),
+                   util::fmt(r.corrected_mean, 1),
+                   util::fmt(r.detected_mean, 2)});
+  }
+  return table;
+}
+
+}  // namespace ulpdream::campaign

@@ -1,0 +1,181 @@
+#include "ulpdream/campaign/spec.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "ulpdream/util/cli.hpp"
+#include "ulpdream/util/rng.hpp"
+#include "ulpdream/util/table.hpp"
+
+namespace ulpdream::campaign {
+
+namespace {
+
+constexpr ecg::Pathology kAllPathologies[] = {
+    ecg::Pathology::kNormalSinus, ecg::Pathology::kBradycardia,
+    ecg::Pathology::kTachycardia, ecg::Pathology::kPvcBigeminy,
+    ecg::Pathology::kAtrialFib,   ecg::Pathology::kStElevation};
+
+/// Shared lookup for the name-list axis parsers: resolves each element of
+/// the comma list against `universe` via `name_of`, throwing with the
+/// valid names on unknown input.
+template <typename Kind, typename Universe, typename NameFn>
+std::vector<Kind> parse_kind_list(const std::string& list,
+                                  const Universe& universe, NameFn name_of,
+                                  const char* what) {
+  std::vector<Kind> out;
+  for (const std::string& name : util::split_list(list)) {
+    bool found = false;
+    for (Kind kind : universe) {
+      if (name == name_of(kind)) {
+        out.push_back(kind);
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      std::string msg = std::string("unknown ") + what + ": " + name +
+                        " (valid:";
+      for (Kind kind : universe) msg += std::string(" ") + name_of(kind);
+      msg += ", or paper/all)";
+      throw std::invalid_argument(msg);
+    }
+  }
+  if (out.empty()) {
+    throw std::invalid_argument(std::string("empty ") + what + " list");
+  }
+  return out;
+}
+
+const char* ber_model_kind_name(mem::BerModelKind kind) {
+  // Matches the BerModel::name() strings without instantiating a model.
+  switch (kind) {
+    case mem::BerModelKind::kLogLinear:
+      return "log-linear";
+    case mem::BerModelKind::kProbit:
+      return "probit";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+std::string RecordAxis::label() const {
+  return std::string(ecg::pathology_name(pathology)) + "_n" +
+         util::fmt_exact(noise_scale) + "_s" + std::to_string(seed);
+}
+
+CampaignSpec CampaignSpec::normalized() const {
+  CampaignSpec out = *this;
+  if (out.apps.empty()) out.apps = apps::all_app_kinds();
+  if (out.emts.empty()) out.emts = core::all_emt_kinds();
+  if (out.voltages.empty()) {
+    out.voltages = voltage_range(mem::VoltageWindow::kMin,
+                                 mem::VoltageWindow::kNominal,
+                                 mem::VoltageWindow::kStep);
+  }
+  if (out.records.empty()) out.records.push_back(RecordAxis{});
+  if (out.repetitions == 0) out.repetitions = 1;
+  return out;
+}
+
+std::vector<double> CampaignSpec::voltage_range(double vmin, double vmax,
+                                                double step) {
+  if (step <= 0.0 || vmax < vmin) {
+    throw std::invalid_argument("voltage_range: need step > 0, vmax >= vmin");
+  }
+  const auto count =
+      static_cast<std::size_t>((vmax - vmin) / step + 1e-9) + 1;
+  std::vector<double> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    // Snap each grid point to 1e-6 V so the axis carries no accumulated
+    // float drift (0.8, not 0.7999999999999999) — the exported exact
+    // values are the grid the user asked for.
+    out.push_back(std::round((vmin + static_cast<double>(i) * step) * 1e6) /
+                  1e6);
+  }
+  return out;
+}
+
+std::size_t CampaignSpec::item_count() const {
+  return records.size() * voltages.size() * repetitions;
+}
+
+std::size_t CampaignSpec::cell_count() const {
+  return records.size() * apps.size() * emts.size() * voltages.size();
+}
+
+std::string CampaignSpec::fingerprint() const {
+  std::ostringstream os;
+  os << "apps:";
+  for (auto a : apps) os << ' ' << apps::app_kind_name(a);
+  os << "|emts:";
+  for (auto e : emts) os << ' ' << core::emt_kind_name(e);
+  os << "|voltages:";
+  for (double v : voltages) os << ' ' << util::fmt_exact(v);
+  os << "|records:";
+  for (const auto& r : records) os << ' ' << r.label();
+  os << "|reps:" << repetitions << "|seed:" << seed
+     << "|ber:" << ber_model_kind_name(ber_model)
+     << "|fs:" << util::fmt_exact(fs_hz)
+     << "|dur:" << util::fmt_exact(duration_s);
+  return os.str();
+}
+
+std::vector<WorkItem> expand(const CampaignSpec& spec) {
+  std::vector<WorkItem> items;
+  items.reserve(spec.item_count());
+  std::size_t index = 0;
+  for (std::size_t ri = 0; ri < spec.records.size(); ++ri) {
+    for (std::size_t vi = 0; vi < spec.voltages.size(); ++vi) {
+      for (std::size_t rep = 0; rep < spec.repetitions; ++rep, ++index) {
+        items.push_back(
+            WorkItem{index, ri, vi, rep, util::mix64(spec.seed, index)});
+      }
+    }
+  }
+  return items;
+}
+
+std::vector<WorkItem> expand_shard(const CampaignSpec& spec,
+                                   std::size_t shard_index,
+                                   std::size_t shard_count) {
+  if (shard_count == 0 || shard_index >= shard_count) {
+    throw std::invalid_argument("expand_shard: need shard_index < shard_count");
+  }
+  std::vector<WorkItem> all = expand(spec);
+  if (shard_count == 1) return all;
+  std::vector<WorkItem> mine;
+  mine.reserve(all.size() / shard_count + 1);
+  for (const WorkItem& item : all) {
+    if (item.index % shard_count == shard_index) mine.push_back(item);
+  }
+  return mine;
+}
+
+std::vector<apps::AppKind> parse_app_list(const std::string& list) {
+  if (list == "paper") return apps::all_app_kinds();
+  if (list == "all") return apps::extended_app_kinds();
+  return parse_kind_list<apps::AppKind>(list, apps::extended_app_kinds(),
+                                        apps::app_kind_name, "app");
+}
+
+std::vector<core::EmtKind> parse_emt_list(const std::string& list) {
+  if (list == "paper") return core::all_emt_kinds();
+  if (list == "all") return core::extended_emt_kinds();
+  return parse_kind_list<core::EmtKind>(list, core::extended_emt_kinds(),
+                                        core::emt_kind_name, "emt");
+}
+
+std::vector<ecg::Pathology> parse_pathology_list(const std::string& list) {
+  if (list == "paper" || list == "all") {
+    return std::vector<ecg::Pathology>(std::begin(kAllPathologies),
+                                       std::end(kAllPathologies));
+  }
+  return parse_kind_list<ecg::Pathology>(list, kAllPathologies,
+                                         ecg::pathology_name, "pathology");
+}
+
+}  // namespace ulpdream::campaign

@@ -11,6 +11,8 @@
 // cycles. Leakage is integrated over this run time at 200 MHz.
 
 #include <memory>
+#include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "ulpdream/apps/app.hpp"
@@ -66,13 +68,12 @@ class ExperimentRunner {
   }
 
  private:
-  struct CacheEntry {
-    std::string key;
-    std::vector<double> reference;
-  };
-
   energy::SystemEnergyModel energy_model_;
-  std::vector<CacheEntry> cache_;
+  // Keyed on (app identity, record identity); node-based map so returned
+  // references stay valid across inserts. Campaigns look the reference up
+  // once per run over grids of thousands of cells — a linear scan here
+  // made large campaigns quadratic in distinct (app, record) pairs.
+  std::unordered_map<std::string, std::vector<double>> cache_;
 };
 
 }  // namespace ulpdream::sim

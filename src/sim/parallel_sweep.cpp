@@ -1,12 +1,10 @@
 #include "ulpdream/sim/parallel_sweep.hpp"
 
 #include <algorithm>
-#include <atomic>
-#include <exception>
-#include <mutex>
 #include <thread>
 
 #include "sweep_internal.hpp"
+#include "ulpdream/util/parallel.hpp"
 
 namespace ulpdream::sim {
 
@@ -33,43 +31,15 @@ std::vector<SweepResult> ParallelSweepRunner::run_multi(
 
   internal::AccumGrid grid = internal::make_accum_grid(app_list.size(), cfg);
 
-  const unsigned workers = static_cast<unsigned>(std::min<std::size_t>(
-      threads_, std::max<std::size_t>(1, cfg.voltages.size())));
-
   // Work-stealing over voltage indices: each index owns an independent
-  // RNG stream and a disjoint slice of `grid`, so claiming indices via an
-  // atomic counter is the only synchronisation the hot path needs.
-  std::atomic<std::size_t> next_vi{0};
-  std::mutex error_mutex;
-  std::exception_ptr first_error;
-
-  auto worker = [&]() {
-    ExperimentRunner runner(energy_model_);
-    try {
-      for (;;) {
-        const std::size_t vi = next_vi.fetch_add(1, std::memory_order_relaxed);
-        if (vi >= cfg.voltages.size()) break;
-        internal::accumulate_voltage_point(runner, app_list, record, cfg,
-                                           *ber_model, vi, grid);
-      }
-    } catch (...) {
-      // Park the claim counter past the end so the other workers stop at
-      // their next claim instead of draining the remaining points.
-      next_vi.store(cfg.voltages.size(), std::memory_order_relaxed);
-      const std::lock_guard<std::mutex> lock(error_mutex);
-      if (!first_error) first_error = std::current_exception();
-    }
-  };
-
-  if (workers <= 1) {
-    worker();
-  } else {
-    std::vector<std::thread> pool;
-    pool.reserve(workers);
-    for (unsigned t = 0; t < workers; ++t) pool.emplace_back(worker);
-    for (auto& t : pool) t.join();
-  }
-  if (first_error) std::rethrow_exception(first_error);
+  // RNG stream and a disjoint slice of `grid`.
+  util::parallel_for_index(cfg.voltages.size(), threads_, [&] {
+    return [&, runner = ExperimentRunner(energy_model_)](
+               std::size_t vi) mutable {
+      internal::accumulate_voltage_point(runner, app_list, record, cfg,
+                                         *ber_model, vi, grid);
+    };
+  });
 
   ExperimentRunner finalize_runner(energy_model_);
   return internal::finalize_sweep(finalize_runner, app_list, record, cfg,

@@ -18,21 +18,19 @@ const std::vector<double>& ExperimentRunner::reference(
                           std::to_string(app.footprint_words()) + "|" +
                           record.name + "#" +
                           std::to_string(record.samples.size());
-  for (const auto& entry : cache_) {
-    if (entry.key == key) return entry.reference;
+  if (const auto it = cache_.find(key); it != cache_.end()) {
+    return it->second;
   }
-  CacheEntry entry;
-  entry.key = key;
+  std::vector<double> reference;
   if (auto ideal = app.ideal_output(record)) {
-    entry.reference = std::move(*ideal);
+    reference = std::move(*ideal);
   } else {
     // Error-free fixed-point run as the reference.
     core::NoProtection none;
     core::MemorySystem system(none);
-    entry.reference = app.run(system, record);
+    reference = app.run(system, record);
   }
-  cache_.push_back(std::move(entry));
-  return cache_.back().reference;
+  return cache_.emplace(key, std::move(reference)).first->second;
 }
 
 RunResult ExperimentRunner::run_once(const apps::BioApp& app,

@@ -1,8 +1,19 @@
 #include "ulpdream/util/cli.hpp"
 
 #include <cstdlib>
+#include <sstream>
 
 namespace ulpdream::util {
+
+std::vector<std::string> split_list(const std::string& list, char sep) {
+  std::vector<std::string> out;
+  std::string item;
+  std::istringstream is(list);
+  while (std::getline(is, item, sep)) {
+    if (!item.empty()) out.push_back(std::move(item));
+  }
+  return out;
+}
 
 Cli::Cli(int argc, const char* const* argv) {
   if (argc > 0) program_ = argv[0];

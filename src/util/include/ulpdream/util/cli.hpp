@@ -8,6 +8,11 @@
 
 namespace ulpdream::util {
 
+/// Splits a separator-delimited flag value ("a,b,c") into its non-empty
+/// elements — the shared parser for list-shaped CLI flags.
+[[nodiscard]] std::vector<std::string> split_list(const std::string& list,
+                                                  char sep = ',');
+
 class Cli {
  public:
   Cli(int argc, const char* const* argv);

@@ -1,0 +1,63 @@
+#pragma once
+// Shared work-stealing index loop for the sweep and campaign engines.
+// Fans indices [0, count) across a std::thread pool: each worker claims
+// indices from one atomic counter, which is the only synchronisation —
+// correct whenever every index writes disjoint state, the pattern both
+// engines are built on.
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ulpdream::util {
+
+/// Runs a per-index function over [0, count) on up to `threads` workers.
+/// Each worker thread invokes `make_worker()` once to build its private
+/// per-worker state (e.g. an ExperimentRunner) and calls the returned
+/// callable with every index it claims; `make_worker` must therefore be
+/// safe to invoke concurrently. If a worker throws, the claim counter is
+/// parked past the end so the other workers stop at their next claim
+/// instead of draining the remaining indices, and the first exception is
+/// rethrown after the join. `threads` <= 1 (or count <= 1) runs entirely
+/// on the calling thread.
+template <typename MakeWorker>
+void parallel_for_index(std::size_t count, unsigned threads,
+                        MakeWorker&& make_worker) {
+  const unsigned workers = static_cast<unsigned>(std::min<std::size_t>(
+      std::max(1u, threads), std::max<std::size_t>(1, count)));
+
+  std::atomic<std::size_t> next{0};
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+
+  auto worker = [&]() {
+    auto fn = make_worker();
+    try {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= count) break;
+        fn(i);
+      }
+    } catch (...) {
+      next.store(count, std::memory_order_relaxed);
+      const std::lock_guard<std::mutex> lock(error_mutex);
+      if (!first_error) first_error = std::current_exception();
+    }
+  };
+
+  if (workers <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned t = 0; t < workers; ++t) pool.emplace_back(worker);
+    for (auto& t : pool) t.join();
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace ulpdream::util

@@ -1,7 +1,9 @@
 #pragma once
 // Text-table and CSV emitters shared by benches: every reproduced figure
 // prints both a human-readable aligned table and (optionally) a CSV file so
-// results can be re-plotted.
+// results can be re-plotted. CsvWriter/parse_csv are the machine-readable
+// path (RFC-4180 quoting, stable column order, loss-free round trip) used
+// by the campaign result store.
 
 #include <cstddef>
 #include <iosfwd>
@@ -9,6 +11,36 @@
 #include <vector>
 
 namespace ulpdream::util {
+
+/// Streaming RFC-4180-style CSV emitter: cells are quoted only when they
+/// contain a separator, quote or newline; embedded quotes are doubled.
+/// Rows are written in call order, so the column order is exactly the
+/// order the caller emits — stable by construction.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& os) : os_(os) {}
+
+  void write_row(const std::vector<std::string>& cells);
+
+  /// Quotes/escapes one cell per RFC 4180 (identity for plain cells).
+  [[nodiscard]] static std::string escape(const std::string& cell);
+
+ private:
+  std::ostream& os_;
+};
+
+/// Parses CSV as produced by CsvWriter: quoted cells, doubled quotes,
+/// embedded separators/newlines inside quotes. Returns one vector of
+/// cells per row; a trailing newline does not produce an empty row.
+[[nodiscard]] std::vector<std::vector<std::string>> parse_csv(
+    std::istream& is);
+
+/// Shortest decimal form that round-trips the exact double value
+/// (std::to_chars); the formatter machine-readable exports use.
+[[nodiscard]] std::string fmt_exact(double value);
+
+/// Inverse of fmt_exact; throws std::invalid_argument on malformed input.
+[[nodiscard]] double parse_double_exact(const std::string& text);
 
 /// Column-aligned text table with a title and optional CSV dump.
 class Table {
@@ -32,6 +64,9 @@ class Table {
   /// Writes the table as CSV (header + rows) to the given path.
   /// Returns false (and leaves no partial file guarantees) on I/O failure.
   bool write_csv(const std::string& path) const;
+
+  /// Streams the table as CSV (header + rows) via CsvWriter.
+  void write_csv(std::ostream& os) const;
 
   [[nodiscard]] std::string to_string() const;
 

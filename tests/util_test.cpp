@@ -216,6 +216,46 @@ TEST(Table, HeaderAfterRowsThrows) {
   EXPECT_THROW(t.set_header({"x"}), std::logic_error);
 }
 
+TEST(Csv, EscapesOnlyWhenNeeded) {
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvWriter::escape("two\nlines"), "\"two\nlines\"");
+}
+
+TEST(Csv, WriteParseRoundTripsQuotedCells) {
+  const std::vector<std::vector<std::string>> rows = {
+      {"a", "b,comma", "c\"quote"},
+      {"line\nbreak", "", "plain"},
+      {""}};  // lone empty cell must survive the round trip
+  std::stringstream ss;
+  CsvWriter csv(ss);
+  for (const auto& row : rows) csv.write_row(row);
+  EXPECT_EQ(parse_csv(ss), rows);
+}
+
+TEST(Csv, ParseRejectsUnterminatedQuote) {
+  std::istringstream is("\"never closed");
+  EXPECT_THROW((void)parse_csv(is), std::invalid_argument);
+}
+
+TEST(Csv, TableCsvStreamsThroughWriter) {
+  Table t("demo");
+  t.set_header({"k", "v"});
+  t.add_row({"with,comma", "1"});
+  std::stringstream ss;
+  t.write_csv(ss);
+  EXPECT_EQ(ss.str(), "k,v\n\"with,comma\",1\n");
+}
+
+TEST(FmtExact, RoundTripsDoublesBitExactly) {
+  for (double v : {0.1, 1.0 / 3.0, -2.5e-13, 12345.678901234567, 0.0}) {
+    EXPECT_EQ(parse_double_exact(fmt_exact(v)), v);
+  }
+  EXPECT_THROW((void)parse_double_exact("12x"), std::invalid_argument);
+  EXPECT_THROW((void)parse_double_exact(""), std::invalid_argument);
+}
+
 TEST(Cli, ParsesKeyValueForms) {
   // Note: a bare --key greedily consumes a following non-flag token, so
   // boolean flags must come last or use --flag=true.
