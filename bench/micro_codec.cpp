@@ -1,23 +1,260 @@
-// google-benchmark microbenchmarks: throughput of the EMT codecs, the
-// faulty-memory access path and the main DSP kernels. Engineering numbers
-// (not in the paper) used to size experiment runtimes.
+// Engineering microbenchmarks (not paper artifacts), two modes:
+//
+//  - default: google-benchmark throughput of the EMT codecs, the
+//    faulty-memory access path and the main DSP kernels (built only when
+//    the library is available; used to size experiment runtimes);
+//  - --datapath: self-timed scalar-vs-block data-path comparison on the
+//    paper's 32 kB geometry — full-buffer write+read sweeps through
+//    ProtectedBuffer, word-at-a-time vs the span-based block API, for
+//    every EMT at a chosen supply voltage. Verifies the two paths are
+//    bit-identical (decoded words, CodecCounters, AccessStats) and emits
+//    machine-readable JSON (stdout, or --json FILE with a human summary
+//    on stdout). CI runs this as the perf-trajectory smoke step.
+//
+//    Example: micro_codec --datapath --volt 0.8 --json BENCH_datapath.json
 
-#include <benchmark/benchmark.h>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <span>
+#include <sstream>
+#include <string>
+#include <vector>
 
 #include "ulpdream/core/dream.hpp"
 #include "ulpdream/core/ecc_secded.hpp"
+#include "ulpdream/core/factory.hpp"
 #include "ulpdream/core/no_protection.hpp"
 #include "ulpdream/core/protected_buffer.hpp"
+#include "ulpdream/ecg/database.hpp"
+#include "ulpdream/mem/ber_model.hpp"
+#include "ulpdream/mem/fault_map.hpp"
+#include "ulpdream/util/cli.hpp"
+#include "ulpdream/util/rng.hpp"
+
+#ifdef ULPDREAM_HAVE_GBENCH
+#include <benchmark/benchmark.h>
+
 #include "ulpdream/cs/omp.hpp"
 #include "ulpdream/cs/sensing_matrix.hpp"
-#include "ulpdream/ecg/database.hpp"
-#include "ulpdream/mem/fault_map.hpp"
 #include "ulpdream/signal/morphology.hpp"
 #include "ulpdream/signal/wavelet.hpp"
-#include "ulpdream/util/rng.hpp"
+#endif
 
 using namespace ulpdream;
 
+namespace {
+
+// ---------------------------------------------------------------------------
+// --datapath mode.
+
+constexpr std::uint64_t kScramblerSeed = 0xDA7A9A7Bu;
+
+struct DatapathRow {
+  std::string emt;
+  double scalar_maccess_s = 0.0;
+  double block_maccess_s = 0.0;
+  double speedup = 0.0;
+  bool identical = false;
+};
+
+/// One full write+read sweep of `src` through `buf`, word at a time.
+std::uint64_t scalar_pass(core::ProtectedBuffer& buf,
+                          const fixed::SampleVec& src) {
+  for (std::size_t i = 0; i < src.size(); ++i) buf.set(i, src[i]);
+  std::uint64_t sum = 0;
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    sum += static_cast<std::uint16_t>(buf.get(i));
+  }
+  return sum;
+}
+
+/// The same sweep on the block path.
+std::uint64_t block_pass(core::ProtectedBuffer& buf,
+                         const fixed::SampleVec& src, fixed::SampleVec& dst) {
+  buf.load(0, std::span<const fixed::Sample>(src.data(), src.size()));
+  buf.store(0, std::span<fixed::Sample>(dst.data(), dst.size()));
+  std::uint64_t sum = 0;
+  for (const fixed::Sample s : dst) sum += static_cast<std::uint16_t>(s);
+  return sum;
+}
+
+bool stats_equal(const mem::AccessStats& a, const mem::AccessStats& b) {
+  return a.reads == b.reads && a.writes == b.writes &&
+         a.bank_reads == b.bank_reads && a.bank_writes == b.bank_writes;
+}
+
+/// Bit-identity check: scalar and block sweeps over identical systems must
+/// produce the same decoded words, codec counters and access stats.
+bool paths_identical(const core::Emt& emt, const mem::FaultMap& map,
+                     const fixed::SampleVec& src) {
+  fixed::SampleVec scalar_out(src.size());
+  fixed::SampleVec block_out(src.size());
+  core::CodecCounters scalar_counters;
+  core::CodecCounters block_counters;
+  mem::AccessStats scalar_data;
+  mem::AccessStats block_data;
+  mem::AccessStats scalar_side;
+  mem::AccessStats block_side;
+
+  {
+    core::MemorySystem system(emt, src.size());
+    system.attach_faults(&map);
+    system.set_scrambler(kScramblerSeed);
+    auto buf = core::ProtectedBuffer::allocate(system, src.size());
+    for (std::size_t i = 0; i < src.size(); ++i) buf.set(i, src[i]);
+    for (std::size_t i = 0; i < src.size(); ++i) scalar_out[i] = buf.get(i);
+    scalar_counters = system.counters();
+    scalar_data = system.data().stats();
+    if (const auto* side = system.safe()) scalar_side = side->stats();
+  }
+  {
+    core::MemorySystem system(emt, src.size());
+    system.attach_faults(&map);
+    system.set_scrambler(kScramblerSeed);
+    auto buf = core::ProtectedBuffer::allocate(system, src.size());
+    buf.load(0, std::span<const fixed::Sample>(src.data(), src.size()));
+    buf.store(0, std::span<fixed::Sample>(block_out.data(), block_out.size()));
+    block_counters = system.counters();
+    block_data = system.data().stats();
+    if (const auto* side = system.safe()) block_side = side->stats();
+  }
+  return scalar_out == block_out &&
+         scalar_counters.decodes == block_counters.decodes &&
+         scalar_counters.corrected_words == block_counters.corrected_words &&
+         scalar_counters.detected_uncorrectable ==
+             block_counters.detected_uncorrectable &&
+         stats_equal(scalar_data, block_data) &&
+         stats_equal(scalar_side, block_side);
+}
+
+/// Median-free simple timing: repeats passes until `min_seconds` of work
+/// is accumulated and reports accesses (reads + writes) per second.
+template <typename Pass>
+double time_pass(Pass&& pass, std::size_t words, double min_seconds,
+                 std::uint64_t& checksum) {
+  using Clock = std::chrono::steady_clock;
+  // Warm-up pass (touches every page, fills caches).
+  checksum = pass();
+  std::uint64_t reps = 0;
+  const Clock::time_point start = Clock::now();
+  double elapsed = 0.0;
+  do {
+    checksum ^= pass();
+    ++reps;
+    elapsed = std::chrono::duration<double>(Clock::now() - start).count();
+  } while (elapsed < min_seconds);
+  const double accesses =
+      static_cast<double>(reps) * 2.0 * static_cast<double>(words);
+  return accesses / elapsed;
+}
+
+void write_json(std::ostream& os, double volt, double ber, std::size_t words,
+                const std::vector<DatapathRow>& rows) {
+  os << "{\n";
+  os << "  \"benchmark\": \"datapath\",\n";
+  os << "  \"geometry\": {\"words\": " << words
+     << ", \"banks\": " << mem::MemoryGeometry::kBanks
+     << ", \"bytes\": " << mem::MemoryGeometry::kBytes << "},\n";
+  os << "  \"voltage_v\": " << volt << ",\n";
+  os << "  \"ber\": " << ber << ",\n";
+  os << "  \"accesses_per_pass\": " << 2 * words << ",\n";
+  os << "  \"results\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const DatapathRow& r = rows[i];
+    os << "    {\"emt\": \"" << r.emt << "\", \"scalar_maccess_s\": "
+       << r.scalar_maccess_s << ", \"block_maccess_s\": " << r.block_maccess_s
+       << ", \"speedup\": " << r.speedup
+       << ", \"identical\": " << (r.identical ? "true" : "false") << "}"
+       << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n";
+  os << "}\n";
+}
+
+int run_datapath(const util::Cli& cli) {
+  const double volt = cli.get_double("volt", 0.8);
+  const double min_seconds = cli.get_double("min-time", 0.15);
+  const std::size_t words = static_cast<std::size_t>(
+      cli.get_int("words", static_cast<std::int64_t>(
+                               mem::MemoryGeometry::kWords16)));
+  const double ber = mem::LogLinearBerModel().ber(volt);
+
+  // Realistic sample distribution (DREAM's run lengths depend on it):
+  // a synthetic ECG trace tiled over the full array.
+  const ecg::Record record = ecg::make_default_record(1);
+  fixed::SampleVec src(words);
+  for (std::size_t i = 0; i < words; ++i) {
+    src[i] = record.samples[i % record.samples.size()];
+  }
+
+  // One fault map at the widest payload, shared by every EMT — the same
+  // fairness protocol the experiments use.
+  util::Xoshiro256 rng(2016);
+  const mem::FaultMap map = mem::FaultMap::random(
+      words, core::EccSecDed::kPayloadBits, ber, rng);
+
+  std::vector<DatapathRow> rows;
+  bool all_identical = true;
+  for (const core::EmtKind kind : core::extended_emt_kinds()) {
+    const auto emt = core::make_emt(kind);
+    DatapathRow row;
+    row.emt = emt->name();
+    row.identical = paths_identical(*emt, map, src);
+    all_identical = all_identical && row.identical;
+
+    core::MemorySystem system(*emt, words);
+    system.attach_faults(&map);
+    system.set_scrambler(kScramblerSeed);
+    auto buf = core::ProtectedBuffer::allocate(system, words);
+    fixed::SampleVec dst(words);
+
+    std::uint64_t scalar_sum = 0;
+    std::uint64_t block_sum = 0;
+    row.scalar_maccess_s =
+        time_pass([&] { return scalar_pass(buf, src); }, words, min_seconds,
+                  scalar_sum) /
+        1e6;
+    row.block_maccess_s =
+        time_pass([&] { return block_pass(buf, src, dst); }, words,
+                  min_seconds, block_sum) /
+        1e6;
+    row.speedup = row.block_maccess_s / row.scalar_maccess_s;
+    rows.push_back(row);
+
+    std::fprintf(stderr,
+                 "datapath %-12s scalar %8.2f Macc/s  block %8.2f Macc/s  "
+                 "speedup %.2fx  identical=%s\n",
+                 row.emt.c_str(), row.scalar_maccess_s, row.block_maccess_s,
+                 row.speedup, row.identical ? "yes" : "NO");
+  }
+
+  const std::string json_path = cli.get("json", "");
+  if (json_path.empty()) {
+    write_json(std::cout, volt, ber, words, rows);
+  } else {
+    std::ofstream os(json_path);
+    if (!os) {
+      std::fprintf(stderr, "cannot open %s\n", json_path.c_str());
+      return 1;
+    }
+    write_json(os, volt, ber, words, rows);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  if (!all_identical) {
+    std::fprintf(stderr, "FAIL: block path diverged from scalar path\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// google-benchmark microbenchmarks (default mode).
+
+#ifdef ULPDREAM_HAVE_GBENCH
 namespace {
 
 void BM_DreamEncode(benchmark::State& state) {
@@ -79,6 +316,28 @@ void BM_ProtectedBufferAccess(benchmark::State& state) {
 }
 BENCHMARK(BM_ProtectedBufferAccess);
 
+void BM_ProtectedBufferBlockAccess(benchmark::State& state) {
+  const core::Dream dream;
+  core::MemorySystem system(dream, 4096);
+  util::Xoshiro256 rng(1);
+  const mem::FaultMap map =
+      mem::FaultMap::random(4096, 16, 1e-3, rng);
+  system.attach_faults(&map);
+  auto buf = core::ProtectedBuffer::allocate(system, 4096);
+  fixed::SampleVec window(4096);
+  for (std::size_t i = 0; i < window.size(); ++i) {
+    window[i] = static_cast<fixed::Sample>(i);
+  }
+  for (auto _ : state) {
+    buf.load(0, std::span<const fixed::Sample>(window.data(), window.size()));
+    buf.store(0, std::span<fixed::Sample>(window.data(), window.size()));
+    benchmark::DoNotOptimize(window.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          2 * 4096);
+}
+BENCHMARK(BM_ProtectedBufferBlockAccess);
+
 void BM_FaultMapGeneration(benchmark::State& state) {
   util::Xoshiro256 rng(2);
   const double ber = 1e-3;
@@ -131,5 +390,21 @@ void BM_OmpReconstruct(benchmark::State& state) {
 BENCHMARK(BM_OmpReconstruct)->Arg(16)->Arg(32)->Arg(64);
 
 }  // namespace
+#endif  // ULPDREAM_HAVE_GBENCH
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  if (cli.has("datapath")) return run_datapath(cli);
+#ifdef ULPDREAM_HAVE_GBENCH
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+#else
+  std::fprintf(stderr,
+               "google-benchmark not available; run with --datapath for the "
+               "scalar-vs-block data-path benchmark\n");
+  return 1;
+#endif
+}

@@ -1,5 +1,6 @@
 #include "ulpdream/apps/app.hpp"
 
+#include <span>
 #include <stdexcept>
 
 #include "ulpdream/apps/classifier_app.hpp"
@@ -27,6 +28,20 @@ const char* app_kind_name(AppKind kind) {
       return "heartbeat_classifier";
   }
   return "unknown";
+}
+
+void load_input(core::ProtectedBuffer& buf, const fixed::SampleVec& samples,
+                std::size_t n) {
+  buf.load(0, std::span<const fixed::Sample>(samples.data(), n));
+}
+
+std::vector<double> read_output_f64(const core::ProtectedBuffer& buf,
+                                    std::size_t n) {
+  fixed::SampleVec raw(n);
+  buf.store(0, std::span<fixed::Sample>(raw.data(), n));
+  std::vector<double> out(n);
+  for (std::size_t i = 0; i < n; ++i) out[i] = static_cast<double>(raw[i]);
+  return out;
 }
 
 std::unique_ptr<BioApp> make_app(AppKind kind) {

@@ -1,6 +1,7 @@
 #include "ulpdream/apps/cs_app.hpp"
 
 #include <bit>
+#include <span>
 #include <stdexcept>
 
 namespace ulpdream::apps {
@@ -34,17 +35,17 @@ std::vector<double> CsApp::run(core::MemorySystem& system,
   auto input = core::ProtectedBuffer::allocate(system, input_length());
   auto meas = core::ProtectedBuffer::allocate(system, cfg_.blocks * m);
 
-  for (std::size_t i = 0; i < input_length(); ++i) {
-    input.set(i, record.samples[i]);
-  }
+  load_input(input, record.samples, input_length());
 
   std::vector<double> out;
   out.reserve(input_length());
 
+  std::vector<fixed::Sample> y_raw(m);
   for (std::size_t b = 0; b < cfg_.blocks; ++b) {
     // y_r = (sum of the selected x_c) / d, accumulated in a register and
     // stored once into the faulty measurement buffer. Input reads still
-    // traverse the faulty memory, as does the stored y itself.
+    // traverse the faulty memory, as does the stored y itself. The sparse
+    // projection gathers scattered columns, so it stays on the word path.
     for (std::size_t r = 0; r < m; ++r) {
       std::int64_t acc = 0;
       for (const std::uint32_t c : row_cols_[r]) {
@@ -53,10 +54,12 @@ std::vector<double> CsApp::run(core::MemorySystem& system,
       meas.set(b * m + r, fixed::saturate_sample(
                               fixed::rounded_shift_right(acc, shift_)));
     }
-    // Base-station reconstruction from the (possibly corrupted) stored y.
+    // Base-station reconstruction from the (possibly corrupted) stored y,
+    // read back as one contiguous measurement window.
+    meas.store(b * m, std::span<fixed::Sample>(y_raw.data(), m));
     std::vector<double> y(m);
     for (std::size_t r = 0; r < m; ++r) {
-      y[r] = static_cast<double>(meas.get(b * m + r));
+      y[r] = static_cast<double>(y_raw[r]);
     }
     const std::vector<double> xhat = reconstructor_.reconstruct(y);
     out.insert(out.end(), xhat.begin(), xhat.end());

@@ -2,23 +2,34 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <span>
 #include <stdexcept>
+
+#include "ulpdream/signal/buffer.hpp"
 
 namespace ulpdream::apps {
 
 namespace {
 
 /// Index of the extremum (max if `maximum`, else min) of buf in [lo, hi).
+/// The scan range is contiguous, so it is fetched in block chunks; the
+/// first-match tie-breaking of the scalar scan is preserved.
 template <typename Buf>
 std::size_t extremum_index(const Buf& buf, std::size_t lo, std::size_t hi,
                            bool maximum) {
   std::size_t best = lo;
-  fixed::Sample best_v = buf.get(lo);
-  for (std::size_t i = lo + 1; i < hi; ++i) {
-    const fixed::Sample v = buf.get(i);
-    if ((maximum && v > best_v) || (!maximum && v < best_v)) {
-      best_v = v;
-      best = i;
+  fixed::Sample best_v = 0;
+  fixed::Sample chunk[signal::kWindowChunk];
+  for (std::size_t off = lo; off < hi; off += signal::kWindowChunk) {
+    const std::size_t m = std::min(signal::kWindowChunk, hi - off);
+    signal::read_window(buf, off, std::span<fixed::Sample>(chunk, m));
+    for (std::size_t j = 0; j < m; ++j) {
+      const fixed::Sample v = chunk[j];
+      if (off + j == lo || (maximum && v > best_v) ||
+          (!maximum && v < best_v)) {
+        best_v = v;
+        best = off + j;
+      }
     }
   }
   return best;
@@ -37,7 +48,7 @@ metrics::FiducialList DelineationApp::delineate(
   auto detail = core::ProtectedBuffer::allocate(system, n);
   auto detail_wide = core::ProtectedBuffer::allocate(system, n);
 
-  for (std::size_t i = 0; i < n; ++i) input.set(i, record.samples[i]);
+  load_input(input, record.samples, n);
 
   const signal::FixedBank bank = signal::fixed_bank(cfg_.family);
   signal::swt_detail(input, n, bank, cfg_.qrs_scale, detail);
@@ -50,10 +61,23 @@ metrics::FiducialList DelineationApp::delineate(
                         detail_wide.get(idx))));
   };
 
-  // Global detection threshold from the envelope.
+  // Global detection threshold from the envelope, scanned one window
+  // chunk per scale buffer at a time.
   std::int32_t max_abs = 1;
-  for (std::size_t i = 0; i < n; ++i) {
-    max_abs = std::max(max_abs, envelope(i));
+  {
+    fixed::Sample qrs_chunk[signal::kWindowChunk];
+    fixed::Sample wide_chunk[signal::kWindowChunk];
+    for (std::size_t off = 0; off < n; off += signal::kWindowChunk) {
+      const std::size_t m = std::min(signal::kWindowChunk, n - off);
+      detail.store(off, std::span<fixed::Sample>(qrs_chunk, m));
+      detail_wide.store(off, std::span<fixed::Sample>(wide_chunk, m));
+      for (std::size_t j = 0; j < m; ++j) {
+        max_abs = std::max(
+            max_abs,
+            std::max(std::abs(static_cast<std::int32_t>(qrs_chunk[j])),
+                     std::abs(static_cast<std::int32_t>(wide_chunk[j]))));
+      }
+    }
   }
   const auto threshold = static_cast<std::int32_t>(
       cfg_.threshold_frac * static_cast<double>(max_abs));

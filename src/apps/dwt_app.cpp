@@ -14,17 +14,12 @@ std::vector<double> DwtApp::run(core::MemorySystem& system,
   auto coeffs = core::ProtectedBuffer::allocate(system, cfg_.n);
   auto scratch = core::ProtectedBuffer::allocate(system, cfg_.n);
 
-  for (std::size_t i = 0; i < cfg_.n; ++i) input.set(i, record.samples[i]);
+  load_input(input, record.samples, cfg_.n);
 
   const signal::FixedBank bank = signal::fixed_bank(cfg_.family);
   signal::dwt_multi(input, cfg_.n, bank, cfg_.levels, coeffs, scratch);
 
-  std::vector<double> out;
-  out.reserve(cfg_.n);
-  for (std::size_t i = 0; i < cfg_.n; ++i) {
-    out.push_back(static_cast<double>(coeffs.get(i)));
-  }
-  return out;
+  return read_output_f64(coeffs, cfg_.n);
 }
 
 std::optional<std::vector<double>> DwtApp::ideal_output(

@@ -65,6 +65,14 @@ class BioApp {
   }
 };
 
+/// Record load / output readback on the batched data path, shared by the
+/// apps' run() implementations: whole sample windows move through one
+/// ProtectedBuffer block call instead of a word-at-a-time loop.
+void load_input(core::ProtectedBuffer& buf, const fixed::SampleVec& samples,
+                std::size_t n);
+[[nodiscard]] std::vector<double> read_output_f64(
+    const core::ProtectedBuffer& buf, std::size_t n);
+
 [[nodiscard]] std::unique_ptr<BioApp> make_app(AppKind kind);
 /// The paper's five case studies (Fig. 2 / Fig. 4 iterate over these).
 [[nodiscard]] const std::vector<AppKind>& all_app_kinds();

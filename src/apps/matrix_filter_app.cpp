@@ -1,6 +1,7 @@
 #include "ulpdream/apps/matrix_filter_app.hpp"
 
 #include <cmath>
+#include <span>
 #include <stdexcept>
 
 namespace ulpdream::apps {
@@ -47,21 +48,27 @@ std::vector<double> MatrixFilterApp::run(core::MemorySystem& system,
   auto b_buf = core::ProtectedBuffer::allocate(system, cfg_.n);
   auto c_buf = core::ProtectedBuffer::allocate(system, cfg_.n);
 
-  for (std::size_t i = 0; i < a_q15_.size(); ++i) a_buf.set(i, a_q15_[i]);
+  a_buf.load(0, std::span<const fixed::Sample>(a_q15_.data(), a_q15_.size()));
   // B column-major: B[r][c] = x[c*k + r].
-  for (std::size_t i = 0; i < cfg_.n; ++i) b_buf.set(i, record.samples[i]);
+  load_input(b_buf, record.samples, cfg_.n);
 
-  // C = A x B, iterated; ping-pong between b_buf and c_buf.
+  // C = A x B, iterated; ping-pong between b_buf and c_buf. Each dot
+  // product reads one operator row and one source column — both
+  // contiguous, both fetched per (c, r) as in the scalar kernel (A rows
+  // and B columns are deliberately re-read from the faulty memory every
+  // time, as on the device), just through one block call each.
+  std::vector<fixed::Sample> a_row(k);
+  std::vector<fixed::Sample> src_col(k);
   core::ProtectedBuffer* src = &b_buf;
   core::ProtectedBuffer* dst = &c_buf;
   for (std::size_t it = 0; it < cfg_.iterations; ++it) {
     for (std::size_t c = 0; c < cols; ++c) {
       for (std::size_t r = 0; r < k; ++r) {
+        a_buf.store(r * k, std::span<fixed::Sample>(a_row.data(), k));
+        src->store(c * k, std::span<fixed::Sample>(src_col.data(), k));
         std::int64_t acc = 0;
         for (std::size_t m = 0; m < k; ++m) {
-          const auto coeff =
-              fixed::Q15::from_raw(a_buf.get(r * k + m));
-          acc += fixed::mul_q15(src->get(c * k + m), coeff);
+          acc += fixed::mul_q15(src_col[m], fixed::Q15::from_raw(a_row[m]));
         }
         // A is stored halved (Q2.14): shift by 14 restores full scale.
         dst->set(c * k + r,
@@ -72,12 +79,7 @@ std::vector<double> MatrixFilterApp::run(core::MemorySystem& system,
   }
 
   // After the final swap, `src` holds the last result.
-  std::vector<double> out;
-  out.reserve(cfg_.n);
-  for (std::size_t i = 0; i < cfg_.n; ++i) {
-    out.push_back(static_cast<double>(src->get(i)));
-  }
-  return out;
+  return read_output_f64(*src, cfg_.n);
 }
 
 std::optional<std::vector<double>> MatrixFilterApp::ideal_output(

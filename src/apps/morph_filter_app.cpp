@@ -1,5 +1,7 @@
 #include "ulpdream/apps/morph_filter_app.hpp"
 
+#include <algorithm>
+#include <span>
 #include <stdexcept>
 
 #include "ulpdream/signal/morphology.hpp"
@@ -18,24 +20,28 @@ std::vector<double> MorphFilterApp::run(core::MemorySystem& system,
   auto baseline = core::ProtectedBuffer::allocate(system, n);
   auto output = core::ProtectedBuffer::allocate(system, n);
 
-  for (std::size_t i = 0; i < n; ++i) input.set(i, record.samples[i]);
+  load_input(input, record.samples, n);
 
   // Opening removes upward excursions (QRS) from the baseline estimate...
   signal::open(input, tmp, baseline, cfg_.se1_half, n);
   // ...closing fills the downward ones; result: the wandering baseline.
   signal::close(baseline, tmp, output, cfg_.se2_half, n);
 
-  // Corrected signal = input - baseline (saturating).
-  for (std::size_t i = 0; i < n; ++i) {
-    output.set(i, fixed::sub_sat(input.get(i), output.get(i)));
+  // Corrected signal = input - baseline (saturating), one window chunk at
+  // a time on the block path.
+  fixed::Sample in_chunk[signal::kWindowChunk];
+  fixed::Sample out_chunk[signal::kWindowChunk];
+  for (std::size_t off = 0; off < n; off += signal::kWindowChunk) {
+    const std::size_t m = std::min(signal::kWindowChunk, n - off);
+    input.store(off, std::span<fixed::Sample>(in_chunk, m));
+    output.store(off, std::span<fixed::Sample>(out_chunk, m));
+    for (std::size_t j = 0; j < m; ++j) {
+      out_chunk[j] = fixed::sub_sat(in_chunk[j], out_chunk[j]);
+    }
+    output.load(off, std::span<const fixed::Sample>(out_chunk, m));
   }
 
-  std::vector<double> out;
-  out.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    out.push_back(static_cast<double>(output.get(i)));
-  }
-  return out;
+  return read_output_f64(output, n);
 }
 
 namespace {

@@ -96,7 +96,10 @@ ResultStore CampaignEngine::run(const CampaignSpec& base_spec,
   app_objs.reserve(spec.apps.size());
   for (apps::AppKind kind : spec.apps) app_objs.push_back(apps::make_app(kind));
 
-  ResultStore store(spec);
+  // Sparse shard store: slots for exactly this shard's items, so memory
+  // scales with the shard, and the concurrent record_item calls below hit
+  // preallocated slices behind a read-only index.
+  ResultStore store(spec, items);
 
   // Clean-run SNR ceilings (Fig. 4 dashed lines): serial, cheap, and the
   // same in every shard, so any shard's store can bridge to the policy

@@ -12,14 +12,18 @@
 // via shortest-round-trip doubles) and bridge into sim::SweepResult so
 // the Sec. VI-C policy explorer runs unchanged on campaign output.
 //
-// Storage is a dense full-grid array (item_count x apps x emts) even in
-// shard stores that execute only a slice — simple, and O(1) slot lookup
-// keeps the hot path synchronisation-free, but per-process memory does
-// not shrink with the shard count. Campaigns of ~10^6+ items want a
-// sparse shard layout (see ROADMAP).
+// Storage is sparse and index-keyed: a store holds (item app-x-EMT
+// sample slices) only for the items it has slots for — a sorted item-index
+// array with parallel done flags and sample slices. A shard store is
+// constructed over exactly its shard's item list (the engine path), so
+// per-process memory scales with the shard's item count, not the whole
+// campaign grid; slot lookup is a binary search over a read-only index,
+// which keeps the concurrent record_item path synchronisation-free.
+// Merge targets start empty and grow as shards fold in.
 
 #include <cstddef>
 #include <iosfwd>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -73,14 +77,23 @@ struct AggregateRow {
 class ResultStore {
  public:
   ResultStore() = default;
-  /// `spec` must already be normalized (the engine guarantees this).
+  /// Empty store over the campaign: no slots preallocated. Used as the
+  /// merge target and by single-threaded producers (record_item grows it
+  /// on demand). `spec` must already be normalized (the engine guarantees
+  /// this).
   explicit ResultStore(CampaignSpec spec);
+  /// Shard store: slots preallocated for exactly `items` (the slice this
+  /// process executes), so memory scales with the shard and concurrent
+  /// record_item calls never mutate the index.
+  ResultStore(CampaignSpec spec, std::span<const WorkItem> items);
 
   [[nodiscard]] const CampaignSpec& spec() const noexcept { return spec_; }
 
   /// Records the samples of one executed item, in (app-major, EMT-minor)
-  /// order. Thread-safe for *distinct* items: every item owns a disjoint
-  /// preallocated slice.
+  /// order. Thread-safe for *distinct* items whose slots are preallocated
+  /// (the shard constructor): each one owns a disjoint slice behind a
+  /// read-only index. Recording an item without a slot inserts one and is
+  /// NOT thread-safe.
   void record_item(const WorkItem& item, const std::vector<Sample>& samples);
 
   /// Clean-run ceiling per (record, app) — the Fig. 4 dashed line.
@@ -91,6 +104,11 @@ class ResultStore {
 
   [[nodiscard]] std::size_t items_done() const noexcept;
   [[nodiscard]] bool complete() const noexcept;
+  /// Items this store holds slots for (executed or preallocated) — the
+  /// quantity per-process memory scales with.
+  [[nodiscard]] std::size_t stored_items() const noexcept {
+    return item_index_.size();
+  }
 
   /// Folds another shard of the *same* campaign into this store. Throws
   /// std::invalid_argument on a spec fingerprint mismatch.
@@ -117,13 +135,20 @@ class ResultStore {
                                         const CampaignSpec& spec);
 
  private:
-  [[nodiscard]] std::size_t slot(const WorkItem& item) const noexcept {
-    return item.index * spec_.apps.size() * spec_.emts.size();
+  static constexpr std::size_t kNoSlot = static_cast<std::size_t>(-1);
+
+  [[nodiscard]] std::size_t per_item() const noexcept {
+    return spec_.apps.size() * spec_.emts.size();
   }
+  /// Binary search over the sorted item index; kNoSlot when absent.
+  [[nodiscard]] std::size_t find_slot(std::size_t item) const noexcept;
+  /// Inserts a slot for `item` (single-threaded growth path).
+  std::size_t insert_slot(std::size_t item);
 
   CampaignSpec spec_;
-  std::vector<Sample> samples_;  ///< item-major, then app-major, EMT-minor
-  std::vector<char> item_done_;
+  std::vector<std::size_t> item_index_;  ///< sorted item indices with slots
+  std::vector<char> item_done_;          ///< parallel to item_index_
+  std::vector<Sample> samples_;  ///< slot-major, then app-major, EMT-minor
   std::vector<double> max_snr_;  ///< record-major x apps, NaN until set
 };
 

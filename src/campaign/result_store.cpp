@@ -1,5 +1,6 @@
 #include "ulpdream/campaign/result_store.hpp"
 
+#include <algorithm>
 #include <cctype>
 #include <cmath>
 #include <istream>
@@ -44,20 +45,57 @@ struct GroupAccum {
 }  // namespace
 
 ResultStore::ResultStore(CampaignSpec spec) : spec_(std::move(spec)) {
-  samples_.resize(spec_.item_count() * spec_.apps.size() * spec_.emts.size());
-  item_done_.assign(spec_.item_count(), 0);
   max_snr_.assign(spec_.records.size() * spec_.apps.size(), kNan);
+}
+
+ResultStore::ResultStore(CampaignSpec spec, std::span<const WorkItem> items)
+    : ResultStore(std::move(spec)) {
+  item_index_.reserve(items.size());
+  for (const WorkItem& item : items) {
+    if (item.index >= spec_.item_count()) {
+      throw std::invalid_argument("ResultStore: item index out of range");
+    }
+    item_index_.push_back(item.index);
+  }
+  std::sort(item_index_.begin(), item_index_.end());
+  item_index_.erase(std::unique(item_index_.begin(), item_index_.end()),
+                    item_index_.end());
+  item_done_.assign(item_index_.size(), 0);
+  samples_.resize(item_index_.size() * per_item());
+}
+
+std::size_t ResultStore::find_slot(std::size_t item) const noexcept {
+  const auto it =
+      std::lower_bound(item_index_.begin(), item_index_.end(), item);
+  if (it == item_index_.end() || *it != item) return kNoSlot;
+  return static_cast<std::size_t>(it - item_index_.begin());
+}
+
+std::size_t ResultStore::insert_slot(std::size_t item) {
+  const auto it =
+      std::lower_bound(item_index_.begin(), item_index_.end(), item);
+  const auto slot = static_cast<std::size_t>(it - item_index_.begin());
+  if (it != item_index_.end() && *it == item) return slot;
+  item_index_.insert(it, item);
+  item_done_.insert(item_done_.begin() + static_cast<std::ptrdiff_t>(slot), 0);
+  samples_.insert(
+      samples_.begin() + static_cast<std::ptrdiff_t>(slot * per_item()),
+      per_item(), Sample{});
+  return slot;
 }
 
 void ResultStore::record_item(const WorkItem& item,
                               const std::vector<Sample>& samples) {
-  const std::size_t per_item = spec_.apps.size() * spec_.emts.size();
-  if (item.index >= item_done_.size() || samples.size() != per_item) {
+  if (item.index >= spec_.item_count() || samples.size() != per_item()) {
     throw std::invalid_argument("ResultStore::record_item: bad item/samples");
   }
-  const std::size_t base = slot(item);
-  for (std::size_t i = 0; i < per_item; ++i) samples_[base + i] = samples[i];
-  item_done_[item.index] = 1;
+  std::size_t slot = find_slot(item.index);
+  if (slot == kNoSlot) slot = insert_slot(item.index);
+  const std::size_t base = slot * per_item();
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    samples_[base + i] = samples[i];
+  }
+  item_done_[slot] = 1;
 }
 
 void ResultStore::set_max_snr(std::size_t record_index, std::size_t app_index,
@@ -77,22 +115,48 @@ std::size_t ResultStore::items_done() const noexcept {
 }
 
 bool ResultStore::complete() const noexcept {
-  return items_done() == item_done_.size();
+  return items_done() == spec_.item_count();
 }
 
 void ResultStore::merge(const ResultStore& other) {
   if (spec_.fingerprint() != other.spec_.fingerprint()) {
     throw std::invalid_argument("ResultStore::merge: spec mismatch");
   }
-  const std::size_t per_item = spec_.apps.size() * spec_.emts.size();
-  for (std::size_t item = 0; item < item_done_.size(); ++item) {
-    if (!other.item_done_[item] || item_done_[item]) continue;
-    const std::size_t base = item * per_item;
-    for (std::size_t i = 0; i < per_item; ++i) {
-      samples_[base + i] = other.samples_[base + i];
+  // Two-pointer merge of the sorted slot indices into fresh arrays: done
+  // items already present here win, the other store fills the gaps.
+  const std::size_t pi = per_item();
+  std::vector<std::size_t> index;
+  std::vector<char> done;
+  std::vector<Sample> samples;
+  index.reserve(item_index_.size() + other.item_index_.size());
+  std::size_t a = 0;
+  std::size_t b = 0;
+  const auto append = [&](const ResultStore& from, std::size_t slot) {
+    index.push_back(from.item_index_[slot]);
+    done.push_back(from.item_done_[slot]);
+    samples.insert(samples.end(), from.samples_.begin() + slot * pi,
+                   from.samples_.begin() + (slot + 1) * pi);
+  };
+  while (a < item_index_.size() || b < other.item_index_.size()) {
+    if (b >= other.item_index_.size() ||
+        (a < item_index_.size() && item_index_[a] < other.item_index_[b])) {
+      append(*this, a++);
+    } else if (a >= item_index_.size() ||
+               other.item_index_[b] < item_index_[a]) {
+      append(other, b++);
+    } else {
+      if (item_done_[a] || !other.item_done_[b]) {
+        append(*this, a);
+      } else {
+        append(other, b);
+      }
+      ++a;
+      ++b;
     }
-    item_done_[item] = 1;
   }
+  item_index_ = std::move(index);
+  item_done_ = std::move(done);
+  samples_ = std::move(samples);
   for (std::size_t i = 0; i < max_snr_.size(); ++i) {
     if (std::isnan(max_snr_[i])) max_snr_[i] = other.max_snr_[i];
   }
@@ -114,13 +178,15 @@ std::vector<AggregateRow> ResultStore::aggregate(const GroupBy& group) const {
   const std::size_t gv = group.voltage ? nv : 1;
   std::vector<GroupAccum> accums(gr * ga * ge * gv);
 
-  // Canonical fold order: item index major, then app, then EMT — exactly
-  // the storage layout, so this is a linear walk and every group receives
-  // its samples in the same order however the campaign was executed.
-  for (std::size_t item = 0; item < item_done_.size(); ++item) {
+  // Canonical fold order: item index major, then app, then EMT — the slot
+  // index is sorted by item, so this is a linear walk and every group
+  // receives its samples in the same order however the campaign was
+  // executed.
+  for (std::size_t slot = 0; slot < item_index_.size(); ++slot) {
+    const std::size_t item = item_index_[slot];
     const std::size_t ri = item / (nv * reps);
     const std::size_t vi = (item / reps) % nv;
-    const std::size_t base = item * na * ne;
+    const std::size_t base = slot * na * ne;
     for (std::size_t ai = 0; ai < na; ++ai) {
       for (std::size_t ei = 0; ei < ne; ++ei) {
         const std::size_t gi =
@@ -196,7 +262,8 @@ sim::SweepResult ResultStore::to_sweep_result(std::size_t record_index,
       GroupAccum a;
       for (std::size_t rep = 0; rep < reps; ++rep) {
         const std::size_t item = (record_index * nv + vi) * reps + rep;
-        a.add(samples_[item * na * ne + app_index * ne + ei]);
+        const std::size_t slot = find_slot(item);
+        a.add(samples_[slot * na * ne + app_index * ne + ei]);
       }
       sim::SweepPoint p;
       p.app = spec_.apps[app_index];
@@ -228,12 +295,12 @@ void ResultStore::save(std::ostream& os) const {
   os << "max_snr";
   for (double v : max_snr_) os << ' ' << util::fmt_exact(v);
   os << '\n';
-  const std::size_t per_item = spec_.apps.size() * spec_.emts.size();
-  for (std::size_t item = 0; item < item_done_.size(); ++item) {
-    if (!item_done_[item]) continue;
-    os << "item " << item;
-    for (std::size_t i = 0; i < per_item; ++i) {
-      const Sample& s = samples_[item * per_item + i];
+  const std::size_t pi = per_item();
+  for (std::size_t slot = 0; slot < item_index_.size(); ++slot) {
+    if (!item_done_[slot]) continue;
+    os << "item " << item_index_[slot];
+    for (std::size_t i = 0; i < pi; ++i) {
+      const Sample& s = samples_[slot * pi + i];
       os << ' ' << util::fmt_exact(s.snr_db) << ' '
          << util::fmt_exact(s.energy.data_dynamic_j) << ' '
          << util::fmt_exact(s.energy.side_dynamic_j) << ' '
@@ -273,19 +340,21 @@ ResultStore ResultStore::load(std::istream& is, const CampaignSpec& spec) {
       v = tok == "nan" ? kNan : util::parse_double_exact(tok);
     }
   }
-  const std::size_t per_item = store.spec_.apps.size() *
-                               store.spec_.emts.size();
+  const std::size_t pi = store.per_item();
   while (std::getline(is, line)) {
     if (line == "end") return store;
     if (line.rfind("item ", 0) != 0) fail("bad line: " + line);
     std::istringstream ls(line.substr(5));
     std::size_t index = 0;
-    if (!(ls >> index) || index >= store.item_done_.size()) {
+    if (!(ls >> index) || index >= store.spec_.item_count()) {
       fail("bad item index");
     }
+    // Slots grow with the stream's item lines (shard saves are written in
+    // ascending item order, so this append-or-insert stays cheap).
+    const std::size_t slot = store.insert_slot(index);
     std::string tok;
-    for (std::size_t i = 0; i < per_item; ++i) {
-      Sample& s = store.samples_[index * per_item + i];
+    for (std::size_t i = 0; i < pi; ++i) {
+      Sample& s = store.samples_[slot * pi + i];
       auto next = [&]() -> double {
         if (!(ls >> tok)) fail("short item line");
         return util::parse_double_exact(tok);
@@ -299,7 +368,7 @@ ResultStore ResultStore::load(std::istream& is, const CampaignSpec& spec) {
       s.corrected_words = next();
       s.detected_uncorrectable = next();
     }
-    store.item_done_[index] = 1;
+    store.item_done_[slot] = 1;
   }
   fail("missing end marker");
   return store;  // unreachable

@@ -36,9 +36,8 @@ std::uint16_t Dream::encode_safe(fixed::Sample s) const {
   return static_cast<std::uint16_t>((id << 1) | sign);
 }
 
-fixed::Sample Dream::decode(std::uint32_t payload, std::uint16_t safe,
-                            CodecCounters* counters) const {
-  const auto data = static_cast<std::uint16_t>(payload);
+std::uint16_t Dream::decode_word(std::uint16_t data, std::uint16_t safe,
+                                 bool& corrected) const {
   const bool sign = (safe & 1u) != 0;
   const int id = static_cast<int>(safe >> 1);
   const int run = id * run_step_ + 1;  // recorded run length, in [1, 16]
@@ -61,11 +60,50 @@ fixed::Sample Dream::decode(std::uint32_t payload, std::uint16_t safe,
                       : static_cast<std::uint16_t>(fixed_word | below);
   }
 
+  corrected = fixed_word != data;
+  return fixed_word;
+}
+
+fixed::Sample Dream::decode(std::uint32_t payload, std::uint16_t safe,
+                            CodecCounters* counters) const {
+  bool corrected = false;
+  const std::uint16_t fixed_word =
+      decode_word(static_cast<std::uint16_t>(payload), safe, corrected);
   if (counters != nullptr) {
     ++counters->decodes;
-    if (fixed_word != data) ++counters->corrected_words;
+    if (corrected) ++counters->corrected_words;
   }
   return static_cast<fixed::Sample>(fixed_word);
+}
+
+void Dream::encode_block(std::span<const fixed::Sample> in,
+                         std::span<std::uint32_t> payload,
+                         std::span<std::uint16_t> safe) const {
+  check_block_spans(in.size(), payload.size(), safe.size());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    payload[i] = static_cast<std::uint16_t>(in[i]);
+  }
+  // `final` lets the compiler resolve encode_safe statically here.
+  for (std::size_t i = 0; i < safe.size(); ++i) safe[i] = encode_safe(in[i]);
+}
+
+void Dream::decode_block(std::span<const std::uint32_t> payload,
+                         std::span<const std::uint16_t> safe,
+                         std::span<fixed::Sample> out,
+                         CodecCounters* counters) const {
+  check_block_spans(out.size(), payload.size(), safe.size());
+  std::uint64_t corrected_words = 0;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    bool corrected = false;
+    out[i] = static_cast<fixed::Sample>(
+        decode_word(static_cast<std::uint16_t>(payload[i]),
+                    safe.empty() ? 0 : safe[i], corrected));
+    corrected_words += corrected ? 1 : 0;
+  }
+  if (counters != nullptr) {
+    counters->decodes += out.size();
+    counters->corrected_words += corrected_words;
+  }
 }
 
 }  // namespace ulpdream::core

@@ -30,4 +30,29 @@ fixed::Sample DreamSecDed::decode(std::uint32_t payload, std::uint16_t safe,
   return result;
 }
 
+void DreamSecDed::encode_block(std::span<const fixed::Sample> in,
+                               std::span<std::uint32_t> payload,
+                               std::span<std::uint16_t> safe) const {
+  check_block_spans(in.size(), payload.size(), safe.size());
+  // Member objects of concrete type: both codec calls dispatch statically.
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    payload[i] = ecc_.encode_payload(in[i]);
+  }
+  for (std::size_t i = 0; i < safe.size(); ++i) {
+    safe[i] = dream_.encode_safe(in[i]);
+  }
+}
+
+void DreamSecDed::decode_block(std::span<const std::uint32_t> payload,
+                               std::span<const std::uint16_t> safe,
+                               std::span<fixed::Sample> out,
+                               CodecCounters* counters) const {
+  check_block_spans(out.size(), payload.size(), safe.size());
+  // `final` devirtualizes the per-word decode; the two-stage pipeline and
+  // its counter semantics live in one place.
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = decode(payload[i], safe.empty() ? 0 : safe[i], counters);
+  }
+}
+
 }  // namespace ulpdream::core

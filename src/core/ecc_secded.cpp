@@ -108,4 +108,35 @@ fixed::Sample EccSecDed::decode(std::uint32_t payload, std::uint16_t /*safe*/,
   return s;
 }
 
+void EccSecDed::encode_block(std::span<const fixed::Sample> in,
+                             std::span<std::uint32_t> payload,
+                             std::span<std::uint16_t> safe) const {
+  check_block_spans(in.size(), payload.size(), safe.size());
+  // `final` lets the compiler resolve encode_payload statically here.
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    payload[i] = encode_payload(in[i]);
+  }
+  for (std::size_t i = 0; i < safe.size(); ++i) safe[i] = 0;
+}
+
+void EccSecDed::decode_block(std::span<const std::uint32_t> payload,
+                             std::span<const std::uint16_t> safe,
+                             std::span<fixed::Sample> out,
+                             CodecCounters* counters) const {
+  check_block_spans(out.size(), payload.size(), safe.size());
+  std::uint64_t corrected = 0;
+  std::uint64_t detected = 0;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    Outcome outcome{};
+    out[i] = decode_ex(payload[i], outcome);
+    corrected += outcome == Outcome::kCorrected ? 1 : 0;
+    detected += outcome == Outcome::kDetectedUncorrectable ? 1 : 0;
+  }
+  if (counters != nullptr) {
+    counters->decodes += out.size();
+    counters->corrected_words += corrected;
+    counters->detected_uncorrectable += detected;
+  }
+}
+
 }  // namespace ulpdream::core

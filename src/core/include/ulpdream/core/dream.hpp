@@ -48,6 +48,14 @@ class Dream final : public Emt {
       std::uint32_t payload, std::uint16_t safe,
       CodecCounters* counters = nullptr) const override;
 
+  void encode_block(std::span<const fixed::Sample> in,
+                    std::span<std::uint32_t> payload,
+                    std::span<std::uint16_t> safe) const override;
+  void decode_block(std::span<const std::uint32_t> payload,
+                    std::span<const std::uint16_t> safe,
+                    std::span<fixed::Sample> out,
+                    CodecCounters* counters = nullptr) const override;
+
   /// The run length the decoder will assume for a given sample (after
   /// mask-ID quantization). Exposed for property tests.
   [[nodiscard]] int recorded_run(fixed::Sample s) const;
@@ -55,6 +63,11 @@ class Dream final : public Emt {
   [[nodiscard]] int mask_id_bits() const noexcept { return mask_id_bits_; }
 
  private:
+  /// Scalar mask-forcing core shared by decode() and decode_block().
+  [[nodiscard]] std::uint16_t decode_word(std::uint16_t data,
+                                          std::uint16_t safe,
+                                          bool& corrected) const;
+
   int mask_id_bits_;
   int run_step_;  ///< run-length quantization step = 16 / 2^mask_id_bits
 };

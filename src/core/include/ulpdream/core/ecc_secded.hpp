@@ -33,6 +33,14 @@ class EccSecDed final : public Emt {
       std::uint32_t payload, std::uint16_t safe,
       CodecCounters* counters = nullptr) const override;
 
+  void encode_block(std::span<const fixed::Sample> in,
+                    std::span<std::uint32_t> payload,
+                    std::span<std::uint16_t> safe) const override;
+  void decode_block(std::span<const std::uint32_t> payload,
+                    std::span<const std::uint16_t> safe,
+                    std::span<fixed::Sample> out,
+                    CodecCounters* counters = nullptr) const override;
+
   /// Result classification of the last decodable scenario, for tests: the
   /// decode path itself only reports via CodecCounters.
   enum class Outcome { kClean, kCorrected, kDetectedUncorrectable };

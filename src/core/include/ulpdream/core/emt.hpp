@@ -15,6 +15,7 @@
 // per access, safe bits pay nominal-voltage energy per access.
 
 #include <cstdint>
+#include <span>
 #include <string>
 
 #include "ulpdream/fixed/sample.hpp"
@@ -66,6 +67,28 @@ class Emt {
   [[nodiscard]] virtual fixed::Sample decode(
       std::uint32_t payload, std::uint16_t safe,
       CodecCounters* counters = nullptr) const = 0;
+
+  /// Block codec entry points — one virtual dispatch per *window* instead
+  /// of per word. The base implementations loop over the scalar virtuals;
+  /// the concrete EMTs override them with devirtualized inner loops.
+  /// Results, including every CodecCounters update, are bit-identical to
+  /// the equivalent scalar loop.
+  ///
+  /// `safe` may be empty when the technique stores no side bits
+  /// (safe_bits() == 0); otherwise it must match `in`/`out` in length.
+  /// Throws std::invalid_argument on a span-length mismatch.
+  virtual void encode_block(std::span<const fixed::Sample> in,
+                            std::span<std::uint32_t> payload,
+                            std::span<std::uint16_t> safe) const;
+  virtual void decode_block(std::span<const std::uint32_t> payload,
+                            std::span<const std::uint16_t> safe,
+                            std::span<fixed::Sample> out,
+                            CodecCounters* counters = nullptr) const;
+
+ protected:
+  /// Shared argument validation for encode_block/decode_block overrides.
+  void check_block_spans(std::size_t in_size, std::size_t payload_size,
+                         std::size_t safe_size) const;
 };
 
 }  // namespace ulpdream::core

@@ -26,6 +26,26 @@ class NoProtection final : public Emt {
     if (counters != nullptr) ++counters->decodes;
     return static_cast<fixed::Sample>(static_cast<std::uint16_t>(payload));
   }
+
+  void encode_block(std::span<const fixed::Sample> in,
+                    std::span<std::uint32_t> payload,
+                    std::span<std::uint16_t> safe) const override {
+    check_block_spans(in.size(), payload.size(), safe.size());
+    for (std::size_t i = 0; i < in.size(); ++i) {
+      payload[i] = static_cast<std::uint16_t>(in[i]);
+    }
+    for (std::size_t i = 0; i < safe.size(); ++i) safe[i] = 0;
+  }
+  void decode_block(std::span<const std::uint32_t> payload,
+                    std::span<const std::uint16_t> safe,
+                    std::span<fixed::Sample> out,
+                    CodecCounters* counters = nullptr) const override {
+    check_block_spans(out.size(), payload.size(), safe.size());
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      out[i] = static_cast<fixed::Sample>(static_cast<std::uint16_t>(payload[i]));
+    }
+    if (counters != nullptr) counters->decodes += out.size();
+  }
 };
 
 }  // namespace ulpdream::core

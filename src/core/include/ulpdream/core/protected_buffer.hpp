@@ -10,6 +10,7 @@
 #include <cstddef>
 #include <memory>
 #include <optional>
+#include <span>
 
 #include "ulpdream/core/emt.hpp"
 #include "ulpdream/mem/memory.hpp"
@@ -51,6 +52,16 @@ class MemorySystem {
 
   void reset_stats();
 
+  /// Batched data path: encodes and writes `src.size()` samples starting
+  /// at data-array address `addr` (and the matching side words when the
+  /// EMT keeps any). Bit-identical — decoded values, CodecCounters and
+  /// AccessStats — to the equivalent loop of word accesses, but pays one
+  /// virtual codec dispatch and one bounds check per window chunk instead
+  /// of per word.
+  void store_block(std::size_t addr, std::span<const fixed::Sample> src);
+  /// Reads and decodes `dst.size()` words starting at `addr`.
+  void load_block(std::size_t addr, std::span<fixed::Sample> dst);
+
   /// Bump allocator over the data array (word granularity). Throws
   /// std::bad_alloc when the 32 kB footprint would be exceeded — apps must
   /// fit the device memory, as on the real node.
@@ -82,6 +93,14 @@ class ProtectedBuffer {
   [[nodiscard]] fixed::Sample get(std::size_t i) const;
   void set(std::size_t i, fixed::Sample s);
   [[nodiscard]] std::size_t size() const noexcept { return length_; }
+
+  /// Block window transfers (the batched data path). Naming follows the
+  /// signal-buffer convention: load() moves samples *into* the device
+  /// memory, store() reads a window back out. Both are loop-equivalent to
+  /// set()/get() — same decoded bits, CodecCounters and AccessStats —
+  /// and throw std::out_of_range when [i, i + span) exceeds the buffer.
+  void load(std::size_t i, std::span<const fixed::Sample> src);
+  void store(std::size_t i, std::span<fixed::Sample> dst) const;
 
   [[nodiscard]] std::size_t base() const noexcept { return base_; }
 

@@ -1,5 +1,6 @@
 #include "ulpdream/core/protected_buffer.hpp"
 
+#include <algorithm>
 #include <new>
 #include <stdexcept>
 
@@ -27,6 +28,54 @@ std::size_t MemorySystem::allocate(std::size_t words) {
   return base;
 }
 
+namespace {
+/// Window chunk for the block data path: big enough to amortize the
+/// per-chunk virtual dispatch, small enough to stay in L1 and on the
+/// stack.
+constexpr std::size_t kBlockChunk = 256;
+}  // namespace
+
+void MemorySystem::store_block(std::size_t addr,
+                               std::span<const fixed::Sample> src) {
+  std::uint32_t payload[kBlockChunk];
+  std::uint16_t safe_words[kBlockChunk];
+  mem::SafeMemory* const safe = safe_ ? &*safe_ : nullptr;
+  while (!src.empty()) {
+    const std::size_t n = std::min<std::size_t>(kBlockChunk, src.size());
+    emt_->encode_block(
+        src.first(n), std::span<std::uint32_t>(payload, n),
+        safe != nullptr ? std::span<std::uint16_t>(safe_words, n)
+                        : std::span<std::uint16_t>());
+    data_.write_block(addr, std::span<const std::uint32_t>(payload, n));
+    if (safe != nullptr) {
+      safe->write_block(addr, std::span<const std::uint16_t>(safe_words, n));
+    }
+    addr += n;
+    src = src.subspan(n);
+  }
+}
+
+void MemorySystem::load_block(std::size_t addr,
+                              std::span<fixed::Sample> dst) {
+  std::uint32_t payload[kBlockChunk];
+  std::uint16_t safe_words[kBlockChunk];
+  const mem::SafeMemory* const safe = safe_ ? &*safe_ : nullptr;
+  while (!dst.empty()) {
+    const std::size_t n = std::min<std::size_t>(kBlockChunk, dst.size());
+    data_.read_block(addr, std::span<std::uint32_t>(payload, n));
+    if (safe != nullptr) {
+      safe->read_block(addr, std::span<std::uint16_t>(safe_words, n));
+    }
+    emt_->decode_block(
+        std::span<const std::uint32_t>(payload, n),
+        safe != nullptr ? std::span<const std::uint16_t>(safe_words, n)
+                        : std::span<const std::uint16_t>(),
+        dst.first(n), &counters_);
+    addr += n;
+    dst = dst.subspan(n);
+  }
+}
+
 fixed::Sample ProtectedBuffer::get(std::size_t i) const {
   if (i >= length_) throw std::out_of_range("ProtectedBuffer::get");
   const std::size_t addr = base_ + i;
@@ -43,6 +92,20 @@ void ProtectedBuffer::set(std::size_t i, fixed::Sample s) {
   if (auto* safe = system_->safe()) {
     safe->write(addr, system_->emt().encode_safe(s));
   }
+}
+
+void ProtectedBuffer::load(std::size_t i, std::span<const fixed::Sample> src) {
+  if (src.size() > length_ || i > length_ - src.size()) {
+    throw std::out_of_range("ProtectedBuffer::load");
+  }
+  system_->store_block(base_ + i, src);
+}
+
+void ProtectedBuffer::store(std::size_t i, std::span<fixed::Sample> dst) const {
+  if (dst.size() > length_ || i > length_ - dst.size()) {
+    throw std::out_of_range("ProtectedBuffer::store");
+  }
+  system_->load_block(base_ + i, dst);
 }
 
 }  // namespace ulpdream::core

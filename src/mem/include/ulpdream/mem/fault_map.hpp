@@ -9,7 +9,17 @@
 //    every run", justified by logical/physical address randomization);
 //  - stuck_bit(): the deterministic Fig. 2 characterization pattern — one
 //    chosen data-bit position stuck at 0 or 1 in *every* word.
+//
+// Storage is sparse: at the BERs the paper sweeps (>= ~0.7 V) well over
+// 99% of words carry no fault, so the map keeps only the faulty words — a
+// sorted word-index array with a parallel WordFaults array — plus two
+// coarse geometry-sized-but-tiny accelerators: a presence bitmap (one bit
+// per kChunkWords-word chunk, so clean words are rejected with a single
+// bit test on the memory read path) and per-chunk slot offsets (so a hit
+// scans at most one chunk's entries). Map memory therefore scales with the
+// fault count, not the geometry.
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -32,6 +42,9 @@ struct WordFaults {
 
 class FaultMap {
  public:
+  /// Words covered by one presence bit of the coarse bitmap.
+  static constexpr std::size_t kChunkWords = 64;
+
   FaultMap() = default;
   FaultMap(std::size_t words, int bits_per_word);
 
@@ -48,13 +61,39 @@ class FaultMap {
                                           int bits_per_word, int bit,
                                           bool value);
 
-  [[nodiscard]] std::size_t words() const noexcept { return faults_.size(); }
+  [[nodiscard]] std::size_t words() const noexcept { return words_; }
   [[nodiscard]] int bits_per_word() const noexcept { return bits_; }
 
-  [[nodiscard]] const WordFaults& at(std::size_t word) const {
-    return faults_.at(word);
+  /// Reference lookup path: bounds-checked plain binary search over the
+  /// sparse index (deliberately independent of the coarse accelerators so
+  /// the two paths can be differentially tested). Clean words return a
+  /// shared all-zero WordFaults.
+  [[nodiscard]] const WordFaults& at(std::size_t word) const;
+  /// Mutable access; inserts a (clean) entry for `word` on demand.
+  [[nodiscard]] WordFaults& at(std::size_t word);
+
+  /// Hot-path lookup used by the memory read loop: coarse presence bitmap
+  /// first (the overwhelmingly common clean-chunk case costs one bit
+  /// test), then a bounded scan of the word's chunk. Returns nullptr for
+  /// clean words.
+  [[nodiscard]] const WordFaults* lookup(std::size_t word) const noexcept {
+    if (word >= words_) return nullptr;
+    const std::size_t chunk = word / kChunkWords;
+    if ((coarse_[chunk >> 6] & (std::uint64_t{1} << (chunk & 63))) == 0) {
+      return nullptr;
+    }
+    const std::uint32_t* const lo = index_.data() + chunk_start_[chunk];
+    const std::uint32_t* const hi = index_.data() + chunk_start_[chunk + 1];
+    const std::uint32_t* const it =
+        std::lower_bound(lo, hi, static_cast<std::uint32_t>(word));
+    if (it == hi || *it != word) return nullptr;
+    return &faults_[static_cast<std::size_t>(it - index_.data())];
   }
-  [[nodiscard]] WordFaults& at(std::size_t word) { return faults_.at(word); }
+
+  /// Number of words holding at least one entry (faulty or inserted).
+  [[nodiscard]] std::size_t entry_count() const noexcept {
+    return index_.size();
+  }
 
   /// Total number of stuck cells in the map.
   [[nodiscard]] std::size_t fault_count() const noexcept;
@@ -64,8 +103,15 @@ class FaultMap {
   [[nodiscard]] std::size_t words_with_at_least(int k) const noexcept;
 
  private:
+  /// Recomputes coarse_ and chunk_start_ from the sorted index_.
+  void rebuild_accelerators();
+
   int bits_ = 0;
-  std::vector<WordFaults> faults_;
+  std::size_t words_ = 0;
+  std::vector<std::uint32_t> index_;      ///< sorted faulty-word indices
+  std::vector<WordFaults> faults_;        ///< parallel to index_
+  std::vector<std::uint64_t> coarse_;     ///< presence bit per word chunk
+  std::vector<std::uint32_t> chunk_start_;  ///< slot range per chunk, +1 end
 };
 
 }  // namespace ulpdream::mem

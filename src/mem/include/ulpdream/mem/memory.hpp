@@ -8,6 +8,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "ulpdream/mem/fault_map.hpp"
@@ -47,7 +48,9 @@ class FaultyMemory {
   [[nodiscard]] int banks() const noexcept { return banks_; }
 
   /// Attaches (non-owning) a fault map; pass nullptr to clear. The map's
-  /// word count and width must cover this memory.
+  /// geometry is validated: it must cover this memory (word count >= words()
+  /// and bits_per_word >= width_bits()), otherwise std::invalid_argument is
+  /// thrown and the previously attached map stays in effect.
   void attach_faults(const FaultMap* map);
 
   /// Enables logical->physical address scrambling with the given seed
@@ -57,6 +60,15 @@ class FaultyMemory {
 
   void write(std::size_t addr, std::uint32_t bits);
   [[nodiscard]] std::uint32_t read(std::size_t addr) const;
+
+  /// Block transfers: semantically identical to a loop of word accesses
+  /// over [addr, addr + span size) — same scrambling, fault application,
+  /// masking and per-bank stats — but with the address math, fault lookup
+  /// and bookkeeping hoisted into one tight loop and a single bounds
+  /// check. The batched data path (ProtectedBuffer::load/store) is built
+  /// on these. Throws std::out_of_range when the range does not fit.
+  void write_block(std::size_t addr, std::span<const std::uint32_t> src);
+  void read_block(std::size_t addr, std::span<std::uint32_t> dst) const;
 
   /// Bits as physically stored (after stuck-at application), for tests.
   [[nodiscard]] std::uint32_t peek_physical(std::size_t addr) const;
@@ -93,6 +105,11 @@ class SafeMemory {
 
   void write(std::size_t addr, std::uint16_t bits);
   [[nodiscard]] std::uint16_t read(std::size_t addr) const;
+
+  /// Block transfers, loop-equivalent to the word accessors (see
+  /// FaultyMemory::write_block).
+  void write_block(std::size_t addr, std::span<const std::uint16_t> src);
+  void read_block(std::size_t addr, std::span<std::uint16_t> dst) const;
 
   [[nodiscard]] const AccessStats& stats() const noexcept { return stats_; }
   void reset_stats();

@@ -27,9 +27,16 @@ FaultyMemory::FaultyMemory(std::size_t words, int width_bits, int banks)
 
 void FaultyMemory::attach_faults(const FaultMap* map) {
   if (map != nullptr) {
-    if (map->words() < store_.size() || map->bits_per_word() < width_) {
+    if (map->words() < store_.size()) {
       throw std::invalid_argument(
-          "FaultyMemory: fault map does not cover this memory");
+          "FaultyMemory: fault map covers " + std::to_string(map->words()) +
+          " words, memory has " + std::to_string(store_.size()));
+    }
+    if (map->bits_per_word() < width_) {
+      throw std::invalid_argument(
+          "FaultyMemory: fault map is " +
+          std::to_string(map->bits_per_word()) + " bits/word, memory needs " +
+          std::to_string(width_));
     }
   }
   faults_ = map;
@@ -67,16 +74,89 @@ void FaultyMemory::write(std::size_t addr, std::uint32_t bits) {
 std::uint32_t FaultyMemory::read(std::size_t addr) const {
   const std::size_t phys = physical(addr);
   std::uint32_t bits = store_.at(phys);
-  if (faults_ != nullptr) bits = faults_->at(phys).apply(bits);
+  if (faults_ != nullptr) {
+    if (const WordFaults* f = faults_->lookup(phys)) bits = f->apply(bits);
+  }
   ++stats_.reads;
   ++stats_.bank_reads[static_cast<std::size_t>(bank_of(phys))];
   return bits & width_mask_;
 }
 
+namespace {
+constexpr bool is_pow2(std::uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+}  // namespace
+
+// The block loops hoist the per-word costs of the scalar accessors — the
+// cross-TU call, the at() bounds check and, for the power-of-two word and
+// bank counts of the paper geometry, the 64-bit divisions behind the
+// affine scrambler and the bank decode (x mod 2^k == x & (2^k - 1), and
+// the affine map wraps mod 2^64 first, whose residue mod any 2^k divisor
+// is unchanged). Addresses, stored bits and stats match the scalar loop
+// exactly.
+
+void FaultyMemory::write_block(std::size_t addr,
+                               std::span<const std::uint32_t> src) {
+  const std::size_t n = src.size();
+  if (n > store_.size() || addr > store_.size() - n) {
+    throw std::out_of_range("FaultyMemory::write_block: range");
+  }
+  const auto banks = static_cast<std::size_t>(banks_);
+  const bool pow2_banks = is_pow2(banks);
+  std::uint64_t* const bank_writes = stats_.bank_writes.data();
+  const bool scrambled = scramble_mul_ != 1 || scramble_add_ != 0;
+  const std::uint64_t words = store_.size();
+  const bool pow2_words = is_pow2(words);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t phys = addr + i;
+    if (scrambled) {
+      const std::uint64_t mapped =
+          static_cast<std::uint64_t>(phys) * scramble_mul_ + scramble_add_;
+      phys = static_cast<std::size_t>(pow2_words ? mapped & (words - 1)
+                                                 : mapped % words);
+    }
+    store_[phys] = src[i] & width_mask_;
+    ++bank_writes[pow2_banks ? phys & (banks - 1) : phys % banks];
+  }
+  stats_.writes += n;
+}
+
+void FaultyMemory::read_block(std::size_t addr,
+                              std::span<std::uint32_t> dst) const {
+  const std::size_t n = dst.size();
+  if (n > store_.size() || addr > store_.size() - n) {
+    throw std::out_of_range("FaultyMemory::read_block: range");
+  }
+  const auto banks = static_cast<std::size_t>(banks_);
+  const bool pow2_banks = is_pow2(banks);
+  std::uint64_t* const bank_reads = stats_.bank_reads.data();
+  const FaultMap* const faults = faults_;
+  const bool scrambled = scramble_mul_ != 1 || scramble_add_ != 0;
+  const std::uint64_t words = store_.size();
+  const bool pow2_words = is_pow2(words);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t phys = addr + i;
+    if (scrambled) {
+      const std::uint64_t mapped =
+          static_cast<std::uint64_t>(phys) * scramble_mul_ + scramble_add_;
+      phys = static_cast<std::size_t>(pow2_words ? mapped & (words - 1)
+                                                 : mapped % words);
+    }
+    std::uint32_t bits = store_[phys];
+    if (faults != nullptr) {
+      if (const WordFaults* f = faults->lookup(phys)) bits = f->apply(bits);
+    }
+    dst[i] = bits & width_mask_;
+    ++bank_reads[pow2_banks ? phys & (banks - 1) : phys % banks];
+  }
+  stats_.reads += n;
+}
+
 std::uint32_t FaultyMemory::peek_physical(std::size_t addr) const {
   const std::size_t phys = physical(addr);
   std::uint32_t bits = store_.at(phys);
-  if (faults_ != nullptr) bits = faults_->at(phys).apply(bits);
+  if (faults_ != nullptr) {
+    if (const WordFaults* f = faults_->lookup(phys)) bits = f->apply(bits);
+  }
   return bits & width_mask_;
 }
 
@@ -107,6 +187,28 @@ std::uint16_t SafeMemory::read(std::size_t addr) const {
   ++stats_.reads;
   ++stats_.bank_reads[0];
   return store_.at(addr);
+}
+
+void SafeMemory::write_block(std::size_t addr,
+                             std::span<const std::uint16_t> src) {
+  const std::size_t n = src.size();
+  if (n > store_.size() || addr > store_.size() - n) {
+    throw std::out_of_range("SafeMemory::write_block: range");
+  }
+  for (std::size_t i = 0; i < n; ++i) store_[addr + i] = src[i] & width_mask_;
+  stats_.writes += n;
+  stats_.bank_writes[0] += n;
+}
+
+void SafeMemory::read_block(std::size_t addr,
+                            std::span<std::uint16_t> dst) const {
+  const std::size_t n = dst.size();
+  if (n > store_.size() || addr > store_.size() - n) {
+    throw std::out_of_range("SafeMemory::read_block: range");
+  }
+  for (std::size_t i = 0; i < n; ++i) dst[i] = store_[addr + i];
+  stats_.reads += n;
+  stats_.bank_reads[0] += n;
 }
 
 void SafeMemory::reset_stats() { stats_.reset(1); }

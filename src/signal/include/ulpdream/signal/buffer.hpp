@@ -7,8 +7,11 @@
 // (experiments). Every get/set on the latter traverses the EMT codec and
 // fault-injection path and is counted for energy.
 
+#include <algorithm>
 #include <concepts>
 #include <cstddef>
+#include <span>
+#include <stdexcept>
 
 #include "ulpdream/fixed/sample.hpp"
 
@@ -22,6 +25,20 @@ concept SampleBuffer = requires(B& b, const B& cb, std::size_t i,
   { cb.size() } -> std::convertible_to<std::size_t>;
 };
 
+/// A SampleBuffer that also moves whole windows per call: load() writes a
+/// span into the buffer at an offset, store() reads a window back out.
+/// ProtectedBuffer models this with one codec dispatch per window (the
+/// batched data path); kernels use it through read_window/write_window so
+/// plain VecBuffers and faulty-memory buffers share one code path.
+template <typename B>
+concept BlockSampleBuffer =
+    SampleBuffer<B> &&
+    requires(B& b, const B& cb, std::size_t i,
+             std::span<const fixed::Sample> src, std::span<fixed::Sample> dst) {
+      { b.load(i, src) };
+      { cb.store(i, dst) };
+    };
+
 /// Plain in-core buffer: adapter over a SampleVec. Used for unit tests and
 /// for golden-reference computation outside the memory simulator.
 class VecBuffer {
@@ -34,6 +51,19 @@ class VecBuffer {
   void set(std::size_t i, fixed::Sample s) { data_.at(i) = s; }
   [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
 
+  void load(std::size_t i, std::span<const fixed::Sample> src) {
+    if (src.size() > data_.size() || i > data_.size() - src.size()) {
+      throw std::out_of_range("VecBuffer::load");
+    }
+    std::copy(src.begin(), src.end(), data_.begin() + static_cast<long>(i));
+  }
+  void store(std::size_t i, std::span<fixed::Sample> dst) const {
+    if (dst.size() > data_.size() || i > data_.size() - dst.size()) {
+      throw std::out_of_range("VecBuffer::store");
+    }
+    std::copy_n(data_.begin() + static_cast<long>(i), dst.size(), dst.begin());
+  }
+
   [[nodiscard]] const fixed::SampleVec& vec() const noexcept { return data_; }
   [[nodiscard]] fixed::SampleVec& vec() noexcept { return data_; }
 
@@ -42,20 +72,97 @@ class VecBuffer {
 };
 
 static_assert(SampleBuffer<VecBuffer>);
+static_assert(BlockSampleBuffer<VecBuffer>);
+
+/// Reads buf[offset, offset + dst.size()) into `dst` — the block path when
+/// the buffer supports it, a scalar loop otherwise. Access-trace
+/// equivalent either way: the same addresses are read once each, in
+/// ascending order.
+template <SampleBuffer B>
+void read_window(const B& buf, std::size_t offset,
+                 std::span<fixed::Sample> dst) {
+  if constexpr (BlockSampleBuffer<B>) {
+    buf.store(offset, dst);
+  } else {
+    for (std::size_t i = 0; i < dst.size(); ++i) dst[i] = buf.get(offset + i);
+  }
+}
+
+/// Writes `src` into buf[offset, offset + src.size()), block path when
+/// available.
+template <SampleBuffer B>
+void write_window(B& buf, std::size_t offset,
+                  std::span<const fixed::Sample> src) {
+  if constexpr (BlockSampleBuffer<B>) {
+    buf.load(offset, src);
+  } else {
+    for (std::size_t i = 0; i < src.size(); ++i) buf.set(offset + i, src[i]);
+  }
+}
+
+/// Chunk size used when staging window transfers through the stack.
+inline constexpr std::size_t kWindowChunk = 256;
+
+/// Stack-staged sequential writer: push() samples destined for
+/// buf[offset], buf[offset + 1], ...; full kWindowChunk stages are
+/// flushed through write_window, and flush() drains the tail. Shared by
+/// the kernels that produce one output per loop iteration, so the
+/// chunk/tail bookkeeping lives in one place.
+template <SampleBuffer B>
+class ChunkedWriter {
+ public:
+  ChunkedWriter(B& buf, std::size_t offset) : buf_(&buf), next_(offset) {}
+
+  void push(fixed::Sample s) {
+    staged_[fill_++] = s;
+    if (fill_ == kWindowChunk) flush();
+  }
+
+  void flush() {
+    if (fill_ == 0) return;
+    write_window(*buf_, next_, std::span<const fixed::Sample>(staged_, fill_));
+    next_ += fill_;
+    fill_ = 0;
+  }
+
+ private:
+  B* buf_;
+  std::size_t next_;
+  std::size_t fill_ = 0;
+  fixed::Sample staged_[kWindowChunk];
+};
+
+/// Copies src[src_off, src_off + n) into dst[dst_off, ...) through the
+/// block path, staging kWindowChunk samples at a time. Source and
+/// destination must be distinct buffers (the chunked copy reorders the
+/// interleaving of reads and writes, which is only equivalent when no
+/// read observes this copy's own writes).
+template <SampleBuffer Src, SampleBuffer Dst>
+void copy_window(const Src& src, std::size_t src_off, Dst& dst,
+                 std::size_t dst_off, std::size_t n) {
+  fixed::Sample staged[kWindowChunk];
+  while (n > 0) {
+    const std::size_t m = n < kWindowChunk ? n : kWindowChunk;
+    read_window(src, src_off, std::span<fixed::Sample>(staged, m));
+    write_window(dst, dst_off, std::span<const fixed::Sample>(staged, m));
+    src_off += m;
+    dst_off += m;
+    n -= m;
+  }
+}
 
 /// Copies a SampleVec into any SampleBuffer.
 template <SampleBuffer B>
 void load(B& buf, const fixed::SampleVec& src) {
-  for (std::size_t i = 0; i < src.size() && i < buf.size(); ++i) {
-    buf.set(i, src[i]);
-  }
+  const std::size_t n = src.size() < buf.size() ? src.size() : buf.size();
+  write_window(buf, 0, std::span<const fixed::Sample>(src.data(), n));
 }
 
 /// Reads a SampleBuffer range [0, n) back into a SampleVec.
 template <SampleBuffer B>
 [[nodiscard]] fixed::SampleVec store(const B& buf, std::size_t n) {
   fixed::SampleVec out(n);
-  for (std::size_t i = 0; i < n; ++i) out[i] = buf.get(i);
+  read_window(buf, 0, std::span<fixed::Sample>(out.data(), n));
   return out;
 }
 

@@ -20,34 +20,49 @@ template <SampleBuffer B>
   if (i >= static_cast<long>(n)) i = static_cast<long>(n) - 1;
   return b.get(static_cast<std::size_t>(i));
 }
+
+/// Shared min/max filter core. Interior windows [i - half, i + half] are
+/// contiguous and fetched with one block read; border windows (clamped
+/// replication) fall back to the scalar path, which touches exactly the
+/// same addresses the clamp dictates. Outputs are staged and flushed in
+/// kWindowChunk blocks, so `in` and `out` must be distinct buffers.
+template <bool kMax, SampleBuffer In, SampleBuffer Out>
+void minmax_filter(const In& in, Out& out, std::size_t half, std::size_t n) {
+  const std::size_t width = 2 * half + 1;
+  fixed::Sample window[kWindowChunk];
+  ChunkedWriter staged(out, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    fixed::Sample best = kMax ? fixed::kSampleMin : fixed::kSampleMax;
+    if (width <= kWindowChunk && i >= half && i + half < n) {
+      read_window(in, i - half, std::span<fixed::Sample>(window, width));
+      for (std::size_t k = 0; k < width; ++k) {
+        best = kMax ? std::max(best, window[k]) : std::min(best, window[k]);
+      }
+    } else {
+      for (long k = -static_cast<long>(half); k <= static_cast<long>(half);
+           ++k) {
+        const fixed::Sample s = clamped_get(in, static_cast<long>(i) + k, n);
+        best = kMax ? std::max(best, s) : std::min(best, s);
+      }
+    }
+    staged.push(best);
+  }
+  staged.flush();
+}
 }  // namespace detail
 
-/// Erosion: out[i] = min over the window of half-width `half`.
+/// Erosion: out[i] = min over the window of half-width `half`. `out` must
+/// be a distinct buffer from `in`.
 template <SampleBuffer In, SampleBuffer Out>
 void erode(const In& in, Out& out, std::size_t half, std::size_t n) {
-  for (std::size_t i = 0; i < n; ++i) {
-    fixed::Sample best = fixed::kSampleMax;
-    for (long k = -static_cast<long>(half); k <= static_cast<long>(half);
-         ++k) {
-      best = std::min(best,
-                      detail::clamped_get(in, static_cast<long>(i) + k, n));
-    }
-    out.set(i, best);
-  }
+  detail::minmax_filter<false>(in, out, half, n);
 }
 
-/// Dilation: out[i] = max over the window.
+/// Dilation: out[i] = max over the window. `out` must be distinct from
+/// `in`.
 template <SampleBuffer In, SampleBuffer Out>
 void dilate(const In& in, Out& out, std::size_t half, std::size_t n) {
-  for (std::size_t i = 0; i < n; ++i) {
-    fixed::Sample best = fixed::kSampleMin;
-    for (long k = -static_cast<long>(half); k <= static_cast<long>(half);
-         ++k) {
-      best = std::max(best,
-                      detail::clamped_get(in, static_cast<long>(i) + k, n));
-    }
-    out.set(i, best);
-  }
+  detail::minmax_filter<true>(in, out, half, n);
 }
 
 /// Opening = erosion then dilation (removes positive impulses).

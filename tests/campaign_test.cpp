@@ -195,6 +195,47 @@ TEST(CampaignEngine, RawStoreSaveLoadRoundTripsAcrossProcessesShape) {
   expect_rows_identical(engine.run(spec).aggregate(), merged.aggregate());
 }
 
+TEST(ResultStore, ShardStoresAreSparseAndScaleWithTheirSlice) {
+  const CampaignSpec spec = tiny_spec();
+  const CampaignEngine engine(energy::SystemEnergyModel(), 2);
+  const std::size_t total = spec.item_count();
+
+  const ResultStore shard = engine.run(spec, Shard{0, 3});
+  // Memory is keyed by the shard's items, not the whole grid.
+  EXPECT_LT(shard.stored_items(), total);
+  EXPECT_EQ(shard.stored_items(), shard.items_done());
+  EXPECT_FALSE(shard.complete());
+
+  // Loading a shard's save materializes only that shard's items.
+  std::ostringstream os;
+  shard.save(os);
+  std::istringstream is(os.str());
+  const ResultStore loaded = ResultStore::load(is, spec);
+  EXPECT_EQ(loaded.stored_items(), shard.stored_items());
+  EXPECT_EQ(loaded.items_done(), shard.items_done());
+
+  // An empty merge target starts with no slots at all and grows only as
+  // shards fold in.
+  ResultStore merged(spec);
+  EXPECT_EQ(merged.stored_items(), 0u);
+  merged.merge(shard);
+  EXPECT_EQ(merged.stored_items(), shard.stored_items());
+}
+
+TEST(ResultStore, RecordItemRejectsOutOfRangeIndex) {
+  const CampaignSpec spec = tiny_spec();
+  ResultStore store(spec);
+  WorkItem bogus;
+  bogus.index = spec.item_count();
+  const std::vector<Sample> samples(spec.apps.size() * spec.emts.size());
+  EXPECT_THROW(store.record_item(bogus, samples), std::invalid_argument);
+  WorkItem first;
+  first.index = 0;
+  EXPECT_THROW(store.record_item(first, {}), std::invalid_argument);
+  EXPECT_NO_THROW(store.record_item(first, samples));
+  EXPECT_EQ(store.items_done(), 1u);
+}
+
 TEST(ResultStore, MergeAndLoadRejectSpecMismatch) {
   const CampaignSpec spec = tiny_spec();
   CampaignSpec other = spec;

@@ -1,0 +1,326 @@
+// Differential suite for the batched data path: the block APIs
+// (Emt::encode_block/decode_block, FaultyMemory::read_block/write_block,
+// ProtectedBuffer::load/store) must be bit-identical to the scalar
+// word-at-a-time path — same decoded samples, same CodecCounters, same
+// per-bank AccessStats — for every EMT kind x voltage x scrambler
+// setting. Also pins the sparse FaultMap representation against an
+// independently-built dense map.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ulpdream/core/ecc_secded.hpp"
+#include "ulpdream/core/factory.hpp"
+#include "ulpdream/core/no_protection.hpp"
+#include "ulpdream/core/protected_buffer.hpp"
+#include "ulpdream/ecg/database.hpp"
+#include "ulpdream/mem/ber_model.hpp"
+#include "ulpdream/mem/fault_map.hpp"
+#include "ulpdream/mem/memory.hpp"
+#include "ulpdream/util/rng.hpp"
+
+namespace ulpdream {
+namespace {
+
+constexpr std::size_t kWords = 2048;
+
+fixed::SampleVec test_samples(std::size_t n) {
+  const ecg::Record record = ecg::make_default_record(3);
+  fixed::SampleVec src(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    src[i] = record.samples[i % record.samples.size()];
+  }
+  return src;
+}
+
+void expect_stats_eq(const mem::AccessStats& a, const mem::AccessStats& b) {
+  EXPECT_EQ(a.reads, b.reads);
+  EXPECT_EQ(a.writes, b.writes);
+  EXPECT_EQ(a.bank_reads, b.bank_reads);
+  EXPECT_EQ(a.bank_writes, b.bank_writes);
+}
+
+void expect_counters_eq(const core::CodecCounters& a,
+                        const core::CodecCounters& b) {
+  EXPECT_EQ(a.decodes, b.decodes);
+  EXPECT_EQ(a.corrected_words, b.corrected_words);
+  EXPECT_EQ(a.detected_uncorrectable, b.detected_uncorrectable);
+}
+
+struct DatapathCase {
+  core::EmtKind kind;
+  double voltage;
+  std::uint64_t scrambler;
+};
+
+class BlockScalarIdentity : public ::testing::TestWithParam<DatapathCase> {};
+
+TEST_P(BlockScalarIdentity, FullSweepMatchesScalarPath) {
+  const DatapathCase param = GetParam();
+  const auto emt = core::make_emt(param.kind);
+  const fixed::SampleVec src = test_samples(kWords);
+
+  util::Xoshiro256 rng(99);
+  const double ber = mem::LogLinearBerModel().ber(param.voltage);
+  const mem::FaultMap map =
+      mem::FaultMap::random(kWords, core::EccSecDed::kPayloadBits, ber, rng);
+
+  // Scalar reference: word-at-a-time write then read.
+  core::MemorySystem scalar_sys(*emt, kWords);
+  scalar_sys.attach_faults(&map);
+  scalar_sys.set_scrambler(param.scrambler);
+  auto scalar_buf = core::ProtectedBuffer::allocate(scalar_sys, kWords);
+  fixed::SampleVec scalar_out(kWords);
+  for (std::size_t i = 0; i < kWords; ++i) scalar_buf.set(i, src[i]);
+  for (std::size_t i = 0; i < kWords; ++i) scalar_out[i] = scalar_buf.get(i);
+
+  // Block path: one load, one store.
+  core::MemorySystem block_sys(*emt, kWords);
+  block_sys.attach_faults(&map);
+  block_sys.set_scrambler(param.scrambler);
+  auto block_buf = core::ProtectedBuffer::allocate(block_sys, kWords);
+  fixed::SampleVec block_out(kWords);
+  block_buf.load(0, std::span<const fixed::Sample>(src.data(), kWords));
+  block_buf.store(0, std::span<fixed::Sample>(block_out.data(), kWords));
+
+  EXPECT_EQ(scalar_out, block_out);
+  expect_counters_eq(scalar_sys.counters(), block_sys.counters());
+  expect_stats_eq(scalar_sys.data().stats(), block_sys.data().stats());
+  ASSERT_EQ(scalar_sys.safe() != nullptr, block_sys.safe() != nullptr);
+  if (scalar_sys.safe() != nullptr) {
+    expect_stats_eq(scalar_sys.safe()->stats(), block_sys.safe()->stats());
+  }
+}
+
+TEST_P(BlockScalarIdentity, OverrideMatchesBaseBlockLoop) {
+  // The devirtualized encode_block/decode_block overrides must agree with
+  // the Emt base implementation (a plain loop over the scalar virtuals),
+  // including counter updates — qualified calls reach the base directly.
+  const DatapathCase param = GetParam();
+  const auto emt = core::make_emt(param.kind);
+  const fixed::SampleVec src = test_samples(512);
+  const std::size_t n = src.size();
+  const bool has_safe = emt->safe_bits() > 0;
+
+  std::vector<std::uint32_t> payload_base(n);
+  std::vector<std::uint32_t> payload_override(n);
+  std::vector<std::uint16_t> safe_base(has_safe ? n : 0);
+  std::vector<std::uint16_t> safe_override(has_safe ? n : 0);
+  emt->Emt::encode_block(std::span<const fixed::Sample>(src),
+                         std::span<std::uint32_t>(payload_base),
+                         std::span<std::uint16_t>(safe_base));
+  emt->encode_block(std::span<const fixed::Sample>(src),
+                    std::span<std::uint32_t>(payload_override),
+                    std::span<std::uint16_t>(safe_override));
+  EXPECT_EQ(payload_base, payload_override);
+  EXPECT_EQ(safe_base, safe_override);
+
+  // Corrupt a deterministic sprinkle of payload bits so the decode loops
+  // exercise correction and detection.
+  util::Xoshiro256 rng(7);
+  for (std::size_t i = 0; i < n; i += 3) {
+    payload_base[i] ^= 1u << rng.bounded(
+        static_cast<std::uint64_t>(emt->payload_bits()));
+    if (i % 9 == 0) {
+      payload_base[i] ^= 1u << rng.bounded(
+          static_cast<std::uint64_t>(emt->payload_bits()));
+    }
+  }
+  payload_override = payload_base;
+
+  fixed::SampleVec out_base(n);
+  fixed::SampleVec out_override(n);
+  core::CodecCounters counters_base;
+  core::CodecCounters counters_override;
+  emt->Emt::decode_block(std::span<const std::uint32_t>(payload_base),
+                         std::span<const std::uint16_t>(safe_base),
+                         std::span<fixed::Sample>(out_base), &counters_base);
+  emt->decode_block(std::span<const std::uint32_t>(payload_override),
+                    std::span<const std::uint16_t>(safe_override),
+                    std::span<fixed::Sample>(out_override),
+                    &counters_override);
+  EXPECT_EQ(out_base, out_override);
+  expect_counters_eq(counters_base, counters_override);
+}
+
+std::vector<DatapathCase> all_cases() {
+  std::vector<DatapathCase> cases;
+  for (const core::EmtKind kind : core::extended_emt_kinds()) {
+    for (const double v : {0.9, 0.8, 0.7, 0.6, 0.5}) {
+      for (const std::uint64_t scrambler : {std::uint64_t{0},
+                                            std::uint64_t{0xC0FFEE}}) {
+        cases.push_back({kind, v, scrambler});
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllEmtsVoltagesScramblers, BlockScalarIdentity,
+    ::testing::ValuesIn(all_cases()),
+    [](const ::testing::TestParamInfo<DatapathCase>& info) {
+      return std::string(core::emt_kind_name(info.param.kind)) + "_v" +
+             std::to_string(static_cast<int>(info.param.voltage * 100)) +
+             (info.param.scrambler == 0 ? "_plain" : "_scrambled");
+    });
+
+TEST(BlockMemory, ReadWriteBlockMatchScalarAccessors) {
+  mem::FaultyMemory scalar_mem(300, 22, 6);  // non-power-of-two geometry
+  mem::FaultyMemory block_mem(300, 22, 6);
+  mem::FaultMap map(300, 22);
+  map.at(7) = {0x3, 0x1};
+  map.at(131) = {1u << 21, 1u << 21};
+  for (auto* m : {&scalar_mem, &block_mem}) {
+    m->attach_faults(&map);
+    m->set_scrambler(1234);
+  }
+
+  std::vector<std::uint32_t> src(300);
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    src[i] = static_cast<std::uint32_t>(0x5A5A5A5Au + i * 2654435761u);
+  }
+  for (std::size_t i = 0; i < src.size(); ++i) scalar_mem.write(i, src[i]);
+  block_mem.write_block(0, src);
+
+  std::vector<std::uint32_t> scalar_out(src.size());
+  std::vector<std::uint32_t> block_out(src.size());
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    scalar_out[i] = scalar_mem.read(i);
+  }
+  block_mem.read_block(0, block_out);
+
+  EXPECT_EQ(scalar_out, block_out);
+  expect_stats_eq(scalar_mem.stats(), block_mem.stats());
+}
+
+TEST(BlockMemory, BlockRangeChecks) {
+  mem::FaultyMemory memory(64, 16);
+  std::vector<std::uint32_t> buf(16);
+  EXPECT_THROW(memory.read_block(60, buf), std::out_of_range);
+  EXPECT_THROW(memory.write_block(
+                   49, std::span<const std::uint32_t>(buf.data(), 16)),
+               std::out_of_range);
+  EXPECT_NO_THROW(memory.read_block(48, buf));
+
+  mem::SafeMemory side(32, 5);
+  std::vector<std::uint16_t> sbuf(8);
+  EXPECT_THROW(side.read_block(25, sbuf), std::out_of_range);
+  EXPECT_NO_THROW(side.read_block(24, sbuf));
+}
+
+TEST(BlockMemory, ProtectedBufferBlockRangeChecks) {
+  core::NoProtection none;
+  core::MemorySystem system(none, 128);
+  auto buf = core::ProtectedBuffer::allocate(system, 64);
+  fixed::SampleVec window(32);
+  EXPECT_THROW(buf.load(40, std::span<const fixed::Sample>(window.data(), 32)),
+               std::out_of_range);
+  EXPECT_THROW(buf.store(64, std::span<fixed::Sample>(window.data(), 1)),
+               std::out_of_range);
+  EXPECT_NO_THROW(
+      buf.load(32, std::span<const fixed::Sample>(window.data(), 32)));
+  EXPECT_NO_THROW(buf.store(0, std::span<fixed::Sample>(window.data(), 32)));
+}
+
+TEST(SparseFaultMap, MatchesDenseReferenceOnRandomMaps) {
+  // Build the same map twice: sparsely via FaultMap and densely in a plain
+  // word-indexed array, from one shared random cell list. at() (plain
+  // binary search) and lookup() (coarse bitmap + chunk scan) must both
+  // agree with the dense reference for every word.
+  constexpr std::size_t kMapWords = 4096;
+  constexpr int kBits = 22;
+  util::Xoshiro256 rng(42);
+
+  mem::FaultMap sparse(kMapWords, kBits);
+  std::vector<mem::WordFaults> dense(kMapWords);
+  for (int fault = 0; fault < 500; ++fault) {
+    const auto word = static_cast<std::size_t>(rng.bounded(kMapWords));
+    const auto bit = static_cast<int>(rng.bounded(kBits));
+    const bool value = rng.bernoulli(0.5);
+    const std::uint32_t bitmask = 1u << bit;
+    for (auto* wf : {&sparse.at(word), &dense[word]}) {
+      wf->mask |= bitmask;
+      if (value) {
+        wf->value |= bitmask;
+      } else {
+        wf->value &= ~bitmask;
+      }
+    }
+  }
+
+  std::size_t dense_faulty_words = 0;
+  std::size_t dense_fault_count = 0;
+  for (std::size_t w = 0; w < kMapWords; ++w) {
+    EXPECT_EQ(sparse.at(w).mask, dense[w].mask) << "word " << w;
+    EXPECT_EQ(sparse.at(w).value, dense[w].value) << "word " << w;
+    const mem::WordFaults* hot = sparse.lookup(w);
+    if (dense[w].mask == 0 && hot != nullptr) {
+      // An inserted-then-clean entry is allowed; it must act clean.
+      EXPECT_EQ(hot->mask, 0u);
+    }
+    if (dense[w].mask != 0) {
+      ASSERT_NE(hot, nullptr) << "word " << w;
+      EXPECT_EQ(hot->mask, dense[w].mask);
+      EXPECT_EQ(hot->value, dense[w].value);
+      ++dense_faulty_words;
+    }
+    dense_fault_count +=
+        static_cast<std::size_t>(__builtin_popcount(dense[w].mask));
+  }
+  EXPECT_EQ(sparse.fault_count(), dense_fault_count);
+  EXPECT_GE(sparse.entry_count(), dense_faulty_words);
+}
+
+TEST(SparseFaultMap, RandomMapLookupAgreesWithAt) {
+  util::Xoshiro256 rng(11);
+  const mem::FaultMap map = mem::FaultMap::random(8192, 22, 2e-3, rng);
+  std::size_t faulty = 0;
+  for (std::size_t w = 0; w < map.words(); ++w) {
+    const mem::WordFaults* hot = map.lookup(w);
+    const mem::WordFaults& ref = map.at(w);
+    if (ref.mask == 0) {
+      EXPECT_TRUE(hot == nullptr || hot->mask == 0);
+    } else {
+      ASSERT_NE(hot, nullptr);
+      EXPECT_EQ(hot->mask, ref.mask);
+      EXPECT_EQ(hot->value, ref.value);
+      ++faulty;
+    }
+  }
+  EXPECT_GT(faulty, 0u);
+  // Sparse storage: entries track faulty words, not the geometry.
+  EXPECT_EQ(map.entry_count(), faulty);
+  EXPECT_EQ(map.lookup(map.words()), nullptr);  // out of range -> clean
+}
+
+TEST(SparseFaultMap, MemoryScalesWithFaultCountNotGeometry) {
+  util::Xoshiro256 rng(5);
+  // 0.8 V-class BER on the full 32 kB geometry: a handful of faults.
+  const mem::FaultMap map = mem::FaultMap::random(
+      mem::MemoryGeometry::kWords16, 22, 1e-4, rng);
+  EXPECT_LT(map.entry_count(), mem::MemoryGeometry::kWords16 / 100);
+  EXPECT_EQ(map.words(), mem::MemoryGeometry::kWords16);
+}
+
+TEST(AttachFaults, ValidatesGeometryAndKeepsPreviousMapOnMismatch) {
+  mem::FaultyMemory memory(128, 22);
+  const mem::FaultMap good(128, 22);
+  EXPECT_NO_THROW(memory.attach_faults(&good));
+
+  const mem::FaultMap short_map(127, 22);
+  EXPECT_THROW(memory.attach_faults(&short_map), std::invalid_argument);
+  const mem::FaultMap narrow_map(128, 21);
+  EXPECT_THROW(memory.attach_faults(&narrow_map), std::invalid_argument);
+
+  // Covering (larger) maps are fine, and nullptr clears.
+  const mem::FaultMap big(256, 32);
+  EXPECT_NO_THROW(memory.attach_faults(&big));
+  EXPECT_NO_THROW(memory.attach_faults(nullptr));
+}
+
+}  // namespace
+}  // namespace ulpdream
