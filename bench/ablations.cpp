@@ -26,7 +26,7 @@ void ablation_d1_mask_width(sim::ExperimentRunner& runner,
                             const ecg::Record& record, std::size_t runs) {
   std::cerr << "[ablations] D1 mask-ID width...\n";
   const apps::DwtApp app;
-  const auto ber_model = mem::make_ber_model(mem::BerModelKind::kLogLinear);
+  const auto ber_model = mem::make_ber_model("log-linear");
 
   util::Table table("D1 - DREAM mask-ID width vs SNR (DWT)");
   table.set_header({"mask_id_bits", "safe_bits/word", "snr@0.60V_dB",
@@ -61,18 +61,18 @@ void ablation_d2_ber_model(const sim::ParallelSweepRunner& sweeper,
   sim::SweepConfig cfg;
   cfg.voltages = {0.5, 0.55, 0.6, 0.65, 0.7, 0.8, 0.9};
   cfg.runs = runs;
-  cfg.emts = {core::EmtKind::kDream};
+  cfg.emts = {"dream"};
 
-  cfg.ber_model = mem::BerModelKind::kLogLinear;
+  cfg.ber_model = "log-linear";
   const sim::SweepResult log_res = sweeper.run(app, record, cfg);
-  cfg.ber_model = mem::BerModelKind::kProbit;
+  cfg.ber_model = "probit";
   const sim::SweepResult probit_res = sweeper.run(app, record, cfg);
 
   for (auto it = cfg.voltages.rbegin(); it != cfg.voltages.rend(); ++it) {
     table.add_row(
         {util::fmt(*it, 2),
-         util::fmt(log_res.find(core::EmtKind::kDream, *it)->snr_mean_db, 1),
-         util::fmt(probit_res.find(core::EmtKind::kDream, *it)->snr_mean_db,
+         util::fmt(log_res.find("dream", *it)->snr_mean_db, 1),
+         util::fmt(probit_res.find("dream", *it)->snr_mean_db,
                    1)});
   }
   table.print(std::cout);
@@ -88,13 +88,13 @@ void ablation_d3_scrambling(sim::ExperimentRunner& runner,
   // scrambling the map is effectively re-randomized per run — the paper's
   // justification for drawing fresh maps each Monte-Carlo run.
   const apps::DwtApp app;
-  const auto ber_model = mem::make_ber_model(mem::BerModelKind::kLogLinear);
+  const auto ber_model = mem::make_ber_model("log-linear");
   const double v = 0.60;
   util::Xoshiro256 rng(404);
   const mem::FaultMap map = mem::FaultMap::random(
       mem::MemoryGeometry::kWords16, 22, ber_model->ber(v), rng);
 
-  const auto dream = core::make_emt(core::EmtKind::kDream);
+  const auto dream = core::make_emt("dream");
   util::RunningStats fixed_snr;
   util::RunningStats scrambled_snr;
   for (std::size_t r = 0; r < runs; ++r) {

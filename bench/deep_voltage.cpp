@@ -22,7 +22,7 @@ int main(int argc, char** argv) {
   // Deep region, extended below the paper's 0.5 V floor.
   cfg.voltages = {0.40, 0.45, 0.50, 0.55, 0.60};
   cfg.runs = static_cast<std::size_t>(cli.get_int("runs", 60));
-  cfg.emts = core::extended_emt_kinds();
+  cfg.emts = core::emt_names();
   cfg.seed = static_cast<std::uint64_t>(cli.get_int("seed", 4242));
 
   const ecg::Record record = ecg::make_default_record(7);
@@ -34,13 +34,18 @@ int main(int argc, char** argv) {
             << " runs/point on up to " << runner.threads() << " threads...\n";
   const sim::SweepResult res = runner.run(dwt, record, cfg);
 
+  // Header follows the sweep's EMT list — emt_names() is open-ended, so
+  // any technique registered into this binary gets its own column.
+  std::vector<std::string> energy_header = {"V"};
+  for (const std::string& emt : cfg.emts) energy_header.push_back(emt);
+
   util::Table table(
       "Deep-voltage extension - DWT mean SNR [dB] per EMT (hybrid = "
       "DREAM+SEC/DED, 11 extra bits)");
-  table.set_header({"V", "none", "dream", "ecc_secded", "dream_secded"});
+  table.set_header(energy_header);
   for (auto it = cfg.voltages.rbegin(); it != cfg.voltages.rend(); ++it) {
     std::vector<std::string> row = {util::fmt(*it, 2)};
-    for (const core::EmtKind emt : cfg.emts) {
+    for (const std::string& emt : cfg.emts) {
       const sim::SweepPoint* p = res.find(emt, *it);
       row.push_back(p ? util::fmt(p->snr_mean_db, 1) : "-");
     }
@@ -51,10 +56,10 @@ int main(int argc, char** argv) {
   (void)table.write_csv("deep_voltage.csv");
 
   util::Table energy("Deep-voltage energy per run [uJ]");
-  energy.set_header({"V", "none", "dream", "ecc_secded", "dream_secded"});
+  energy.set_header(energy_header);
   for (auto it = cfg.voltages.rbegin(); it != cfg.voltages.rend(); ++it) {
     std::vector<std::string> row = {util::fmt(*it, 2)};
-    for (const core::EmtKind emt : cfg.emts) {
+    for (const std::string& emt : cfg.emts) {
       const sim::SweepPoint* p = res.find(emt, *it);
       row.push_back(p ? util::fmt(p->energy_mean_j * 1e6, 4) : "-");
     }
@@ -65,13 +70,13 @@ int main(int argc, char** argv) {
   // Qualitative-output robustness: classifier class-count agreement under
   // DREAM at 0.55 V vs the waveform SNR at the same point.
   const apps::ClassifierApp classifier;
-  auto agreement = [&](double v, core::EmtKind emt_kind) {
+  auto agreement = [&](double v, const std::string& emt_name) {
     const auto ber = mem::make_ber_model(cfg.ber_model);
     util::Xoshiro256 rng(cfg.seed + 1);
-    const auto none = core::make_emt(core::EmtKind::kNone);
+    const auto none = core::make_emt("none");
     core::MemorySystem clean_sys(*none);
     const auto clean = classifier.run(clean_sys, record);
-    const auto emt = core::make_emt(emt_kind);
+    const auto emt = core::make_emt(emt_name);
     std::size_t agree = 0;
     for (std::size_t t = 0; t < cfg.runs; ++t) {
       const mem::FaultMap map = mem::FaultMap::random(
@@ -88,17 +93,17 @@ int main(int argc, char** argv) {
   qual.set_header({"V", "dream_agreement_%", "dream_secded_agreement_%"});
   for (const double v : {0.60, 0.55, 0.50}) {
     qual.add_row({util::fmt(v, 2),
-                  util::fmt(agreement(v, core::EmtKind::kDream) * 100.0, 0),
+                  util::fmt(agreement(v, "dream") * 100.0, 0),
                   util::fmt(
-                      agreement(v, core::EmtKind::kDreamSecDed) * 100.0, 0)});
+                      agreement(v, "dream_secded") * 100.0, 0)});
   }
   qual.print(std::cout);
 
   const double hybrid_050 =
-      res.find(core::EmtKind::kDreamSecDed, 0.50)->snr_mean_db;
-  const double dream_050 = res.find(core::EmtKind::kDream, 0.50)->snr_mean_db;
+      res.find("dream_secded", 0.50)->snr_mean_db;
+  const double dream_050 = res.find("dream", 0.50)->snr_mean_db;
   const double ecc_050 =
-      res.find(core::EmtKind::kEccSecDed, 0.50)->snr_mean_db;
+      res.find("ecc_secded", 0.50)->snr_mean_db;
   std::cout << "\nShape checks:\n";
   std::cout << "  hybrid beats DREAM at 0.50 V: "
             << (hybrid_050 > dream_050 ? "PASS" : "FAIL") << '\n';

@@ -27,8 +27,8 @@ int main(int argc, char** argv) {
   double grand_dream = 0.0;
   double grand_ecc = 0.0;
 
-  for (const apps::AppKind kind : apps::all_app_kinds()) {
-    const auto app = apps::make_app(kind);
+  for (const std::string& name : apps::paper_app_names()) {
+    const auto app = apps::make_app(name);
     std::cerr << "[energy] " << app->name() << "...\n";
     const sim::SweepResult res = runner.run(*app, record, cfg);
 
@@ -42,11 +42,11 @@ int main(int argc, char** argv) {
     for (auto it = cfg.voltages.rbegin(); it != cfg.voltages.rend(); ++it) {
       const double v = *it;
       const double e_none =
-          res.find(core::EmtKind::kNone, v)->energy_mean_j * 1e6;
+          res.find("none", v)->energy_mean_j * 1e6;
       const double e_dream =
-          res.find(core::EmtKind::kDream, v)->energy_mean_j * 1e6;
+          res.find("dream", v)->energy_mean_j * 1e6;
       const double e_ecc =
-          res.find(core::EmtKind::kEccSecDed, v)->energy_mean_j * 1e6;
+          res.find("ecc_secded", v)->energy_mean_j * 1e6;
       sum_none += e_none;
       sum_dream += e_dream;
       sum_ecc += e_ecc;

@@ -31,8 +31,8 @@ int main(int argc, char** argv) {
 
   sim::ExperimentRunner runner;
   std::vector<sim::BitSignificanceResult> results;
-  for (const apps::AppKind kind : apps::all_app_kinds()) {
-    const auto app = apps::make_app(kind);
+  for (const std::string& name : apps::paper_app_names()) {
+    const auto app = apps::make_app(name);
     std::cerr << "[fig2] characterizing " << app->name() << "...\n";
     results.push_back(sim::run_bit_significance(runner, *app, records));
   }
@@ -43,7 +43,7 @@ int main(int argc, char** argv) {
                       std::to_string(records.size()) + " records)");
     std::vector<std::string> header = {"bit"};
     for (const auto& r : results) {
-      header.push_back(apps::app_kind_name(r.app));
+      header.push_back(r.app);
     }
     table.set_header(header);
     for (int bit = 0; bit < 16; ++bit) {
@@ -66,7 +66,7 @@ int main(int argc, char** argv) {
   summary.set_header({"app", "max_snr_db", "tolerated_up_to_sa0",
                       "tolerated_up_to_sa1"});
   for (const auto& r : results) {
-    summary.add_row({apps::app_kind_name(r.app), util::fmt(r.max_snr_db, 1),
+    summary.add_row({r.app, util::fmt(r.max_snr_db, 1),
                      std::to_string(r.tolerated_up_to[0]),
                      std::to_string(r.tolerated_up_to[1])});
   }

@@ -20,17 +20,15 @@ int main(int argc, char** argv) {
   sim::SweepConfig cfg = sim::SweepConfig::defaults();
   cfg.runs = static_cast<std::size_t>(cli.get_int("runs", 200));
   cfg.seed = static_cast<std::uint64_t>(cli.get_int("seed", 2016));
-  if (cli.get("ber-model", "log-linear") == "probit") {
-    cfg.ber_model = mem::BerModelKind::kProbit;
-  }
+  cfg.ber_model = cli.get("ber-model", "log-linear");
 
   const ecg::Record record = ecg::make_default_record(
       static_cast<std::uint64_t>(cli.get_int("record-seed", 7)));
 
   std::vector<std::unique_ptr<apps::BioApp>> owned;
   std::vector<const apps::BioApp*> app_list;
-  for (const apps::AppKind kind : apps::all_app_kinds()) {
-    owned.push_back(apps::make_app(kind));
+  for (const std::string& name : apps::paper_app_names()) {
+    owned.push_back(apps::make_app(name));
     app_list.push_back(owned.back().get());
   }
 
@@ -50,7 +48,7 @@ int main(int argc, char** argv) {
                       " - mean SNR [dB] vs supply voltage");
     std::vector<std::string> header = {"V"};
     for (const auto& r : results) {
-      header.push_back(apps::app_kind_name(r.points.front().app));
+      header.push_back(r.points.front().app);
     }
     table.set_header(header);
     for (auto v_it = cfg.voltages.rbegin(); v_it != cfg.voltages.rend();
@@ -64,14 +62,13 @@ int main(int argc, char** argv) {
     }
     table.print(std::cout);
     std::cout << '\n';
-    (void)table.write_csv(std::string("fig4_") +
-                          core::emt_kind_name(cfg.emts[ei]) + ".csv");
+    (void)table.write_csv(std::string("fig4_") + cfg.emts[ei] + ".csv");
   }
 
   util::Table dashed("Fig. 4 dashed lines - max SNR (error-free) [dB]");
   dashed.set_header({"app", "max_snr_db"});
   for (const auto& r : results) {
-    dashed.add_row({apps::app_kind_name(r.points.front().app),
+    dashed.add_row({r.points.front().app,
                     util::fmt(r.max_snr_db, 1)});
   }
   dashed.print(std::cout);
@@ -97,14 +94,14 @@ int main(int argc, char** argv) {
   // Paper shape checks.
   std::cout << "\nShape checks (dwt):\n";
   const sim::SweepResult& dwt = results[0];
-  const double none_065 = dwt.find(core::EmtKind::kNone, 0.65)->snr_mean_db;
-  const double dream_065 = dwt.find(core::EmtKind::kDream, 0.65)->snr_mean_db;
+  const double none_065 = dwt.find("none", 0.65)->snr_mean_db;
+  const double dream_065 = dwt.find("dream", 0.65)->snr_mean_db;
   const double ecc_060 =
-      dwt.find(core::EmtKind::kEccSecDed, 0.60)->snr_mean_db;
-  const double dream_060 = dwt.find(core::EmtKind::kDream, 0.60)->snr_mean_db;
+      dwt.find("ecc_secded", 0.60)->snr_mean_db;
+  const double dream_060 = dwt.find("dream", 0.60)->snr_mean_db;
   const double ecc_050 =
-      dwt.find(core::EmtKind::kEccSecDed, 0.50)->snr_mean_db;
-  const double dream_050 = dwt.find(core::EmtKind::kDream, 0.50)->snr_mean_db;
+      dwt.find("ecc_secded", 0.50)->snr_mean_db;
+  const double dream_050 = dwt.find("dream", 0.50)->snr_mean_db;
   std::cout << "  protection helps at 0.65 V: "
             << (dream_065 > none_065 + 3.0 ? "PASS" : "FAIL") << '\n';
   std::cout << "  ECC competitive in 0.55-0.65 V band: "

@@ -197,8 +197,8 @@ int run_datapath(const util::Cli& cli) {
 
   std::vector<DatapathRow> rows;
   bool all_identical = true;
-  for (const core::EmtKind kind : core::extended_emt_kinds()) {
-    const auto emt = core::make_emt(kind);
+  for (const std::string& name : core::emt_names()) {
+    const auto emt = core::make_emt(name);
     DatapathRow row;
     row.emt = emt->name();
     row.identical = paths_identical(*emt, map, src);

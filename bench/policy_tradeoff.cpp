@@ -19,8 +19,8 @@ int main(int argc, char** argv) {
   // The Sec. VI-C grid as a declarative campaign: DWT x all paper EMTs x
   // the full voltage window on the default trace.
   campaign::CampaignSpec spec;
-  spec.apps = {apps::AppKind::kDwt};
-  spec.emts = core::all_emt_kinds();
+  spec.apps = {"dwt"};
+  spec.emts = core::paper_emt_names();
   spec.records = {campaign::RecordAxis{ecg::Pathology::kNormalSinus, 1.0, 7}};
   spec.repetitions = static_cast<std::size_t>(cli.get_int("runs", 100));
   spec.seed = static_cast<std::uint64_t>(cli.get_int("seed", 2016));
@@ -44,7 +44,7 @@ int main(int argc, char** argv) {
     int i = 0;
     for (const auto& p : policy.points) {
       ops.add_row(
-          {core::emt_kind_name(p.emt),
+          {p.emt,
            p.feasible ? util::fmt(p.min_safe_voltage, 2) : "infeasible",
            util::fmt(p.snr_at_floor_db, 1),
            util::fmt(p.energy_at_floor_j * 1e6, 4),
@@ -55,8 +55,7 @@ int main(int argc, char** argv) {
     util::Table ranges("Derived EMT-triggering voltage ranges");
     ranges.set_header({"v_low", "v_high", "emt"});
     for (const auto& r : policy.policy.ranges()) {
-      ranges.add_row({util::fmt(r.v_low, 2), util::fmt(r.v_high, 2),
-                      core::emt_kind_name(r.emt)});
+      ranges.add_row({util::fmt(r.v_low, 2), util::fmt(r.v_high, 2), r.emt});
     }
     ranges.print(std::cout);
     std::cout << '\n';
@@ -90,32 +89,32 @@ int main(int argc, char** argv) {
                paper_abs);
   (void)sweep;
 
-  const auto savings = [](const sim::PolicyResult& p, core::EmtKind k) {
+  const auto savings = [](const sim::PolicyResult& p, const std::string& k) {
     for (const auto& op : p.points) {
       if (op.emt == k && op.feasible) return op.savings_vs_nominal_frac;
     }
     return -1.0;
   };
-  const auto floor_v = [](const sim::PolicyResult& p, core::EmtKind k) {
+  const auto floor_v = [](const sim::PolicyResult& p, const std::string& k) {
     for (const auto& op : p.points) {
       if (op.emt == k && op.feasible) return op.min_safe_voltage;
     }
     return 1.0;
   };
-  const double a_none = savings(absolute, core::EmtKind::kNone);
-  const double a_dream = savings(absolute, core::EmtKind::kDream);
-  const double a_ecc = savings(absolute, core::EmtKind::kEccSecDed);
-  const double r_none = savings(relative, core::EmtKind::kNone);
+  const double a_none = savings(absolute, "none");
+  const double a_dream = savings(absolute, "dream");
+  const double a_ecc = savings(absolute, "ecc_secded");
+  const double r_none = savings(relative, "none");
   std::cout << "Shape checks:\n";
   std::cout << "  relative criterion: unprotected floor ~0.85 V, ~12% saving"
                " (paper 12.7%): "
             << (std::abs(r_none - 0.127) < 0.05 ? "PASS" : "FAIL") << '\n';
   std::cout << "  protection unlocks deeper voltage floors"
                " (ecc <= dream < none): "
-            << ((floor_v(absolute, core::EmtKind::kEccSecDed) <=
-                 floor_v(absolute, core::EmtKind::kDream)) &&
-                        (floor_v(absolute, core::EmtKind::kDream) <
-                         floor_v(absolute, core::EmtKind::kNone))
+            << ((floor_v(absolute, "ecc_secded") <=
+                 floor_v(absolute, "dream")) &&
+                        (floor_v(absolute, "dream") <
+                         floor_v(absolute, "none"))
                     ? "PASS"
                     : "FAIL")
             << '\n';

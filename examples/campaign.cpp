@@ -9,7 +9,7 @@
 //            [--vmin 0.5] [--vmax 0.9] [--step 0.05]
 //            [--pathologies normal_sinus,afib|all] [--noise 1]
 //            [--record-seed 7] [--reps 30] [--seed 2016]
-//            [--ber-model log-linear|probit] [--threads N]
+//            [--ber-model log-linear|probit] [--threads N] [--list]
 //            [--group record,app,emt,voltage]
 //            [--csv out.csv] [--json out.json]
 //   # sharded execution across processes:
@@ -50,10 +50,39 @@ campaign::CampaignSpec spec_from_cli(const util::Cli& cli) {
   }
   spec.repetitions = static_cast<std::size_t>(cli.get_int("reps", 30));
   spec.seed = static_cast<std::uint64_t>(cli.get_int("seed", 2016));
-  if (cli.get("ber-model", "log-linear") == "probit") {
-    spec.ber_model = mem::BerModelKind::kProbit;
-  }
+  spec.ber_model = cli.get("ber-model", "log-linear");
+  // Eager validation; the registry's unknown-name error lists valid names.
+  (void)mem::ber_model_registry().descriptor(spec.ber_model);
   return spec.normalized();
+}
+
+/// `--list`: enumerate the component registries from their descriptors —
+/// what can go into --apps/--emts/--ber-model, without instantiating
+/// anything.
+void print_registries() {
+  util::Table table("Registered components");
+  table.set_header({"kind", "name", "capabilities", "description"});
+  const auto caps_of = [](const util::Descriptor& d) {
+    std::string caps;
+    for (const std::string& c : d.capabilities) {
+      if (!caps.empty()) caps += ',';
+      caps += c;
+    }
+    return caps.empty() ? std::string("-") : caps;
+  };
+  for (const std::string& name : apps::app_names()) {
+    const auto d = apps::app_registry().descriptor(name);
+    table.add_row({"app", name, caps_of(d), d.doc});
+  }
+  for (const std::string& name : core::emt_names()) {
+    const auto d = core::emt_registry().descriptor(name);
+    table.add_row({"emt", name, caps_of(d), d.doc});
+  }
+  for (const std::string& name : mem::ber_model_names()) {
+    const auto d = mem::ber_model_registry().descriptor(name);
+    table.add_row({"ber-model", name, caps_of(d), d.doc});
+  }
+  table.print(std::cout);
 }
 
 campaign::Shard shard_from_cli(const util::Cli& cli) {
@@ -113,6 +142,10 @@ void export_aggregates(const util::Cli& cli, const campaign::ResultStore& store)
 int main(int argc, char** argv) {
   try {
     const util::Cli cli(argc, argv);
+    if (cli.has("list")) {
+      print_registries();
+      return 0;
+    }
     const campaign::CampaignSpec spec = spec_from_cli(cli);
 
     // Merge mode: reassemble shard stores instead of executing.

@@ -23,7 +23,7 @@ int main() {
 
   // 2. A fault environment: the BER of a 32 nm low-power SRAM at 0.60 V.
   const double voltage = 0.60;
-  const auto ber_model = mem::make_ber_model(mem::BerModelKind::kLogLinear);
+  const auto ber_model = mem::make_ber_model("log-linear");
   util::Xoshiro256 rng(1);
   const mem::FaultMap faults = mem::FaultMap::random(
       mem::MemoryGeometry::kWords16, 22, ber_model->ber(voltage), rng);
@@ -33,8 +33,8 @@ int main() {
   // 3. Store and read back the record through each EMT.
   const std::vector<double> original(record.samples.begin(),
                                      record.samples.begin() + 2048);
-  for (const core::EmtKind kind : core::all_emt_kinds()) {
-    const auto emt = core::make_emt(kind);
+  for (const std::string& name : core::paper_emt_names()) {
+    const auto emt = core::make_emt(name);
     core::MemorySystem system(*emt);
     system.attach_faults(&faults);
     auto buffer = core::ProtectedBuffer::allocate(system, 2048);

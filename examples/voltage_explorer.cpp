@@ -29,7 +29,7 @@ int main(int argc, char** argv) {
 
   campaign::CampaignSpec spec;
   spec.apps = campaign::parse_app_list(cli.get("app", "dwt"));
-  spec.emts = core::all_emt_kinds();
+  spec.emts = core::paper_emt_names();
   spec.voltages = campaign::CampaignSpec::voltage_range(
       cli.get_double("vmin", 0.5), cli.get_double("vmax", 0.9),
       cli.get_double("step", 0.05));
@@ -37,9 +37,7 @@ int main(int argc, char** argv) {
       ecg::Pathology::kNormalSinus, 1.0,
       static_cast<std::uint64_t>(cli.get_int("seed", 7))}};
   spec.repetitions = static_cast<std::size_t>(cli.get_int("runs", 30));
-  if (cli.get("ber-model", "log-linear") == "probit") {
-    spec.ber_model = mem::BerModelKind::kProbit;
-  }
+  spec.ber_model = cli.get("ber-model", "log-linear");
 
   const campaign::CampaignEngine engine = campaign::CampaignEngine::from_cli(cli);
   std::cerr << "sweeping " << spec.apps.size() << " app(s) over ["
@@ -64,16 +62,16 @@ int main(int argc, char** argv) {
   const double tolerance = cli.get_double("tolerance-db", 1.0);
   for (std::size_t ai = 0; ai < spec.apps.size(); ++ai) {
     const sim::SweepResult res = store.to_sweep_result(0, ai);
-    std::cout << "\n" << apps::app_kind_name(spec.apps[ai])
+    std::cout << "\n" << spec.apps[ai]
               << " (max SNR error-free: " << util::fmt(res.max_snr_db, 1)
               << " dB), with a -" << tolerance << " dB tolerance:\n";
     const sim::PolicyResult policy = sim::explore_policy(res, tolerance);
     for (const auto& p : policy.points) {
       if (!p.feasible) {
-        std::cout << "  " << core::emt_kind_name(p.emt) << ": infeasible\n";
+        std::cout << "  " << p.emt << ": infeasible\n";
         continue;
       }
-      std::cout << "  " << core::emt_kind_name(p.emt) << ": safe down to "
+      std::cout << "  " << p.emt << ": safe down to "
                 << util::fmt(p.min_safe_voltage, 2) << " V, saving "
                 << util::fmt(p.savings_vs_nominal_frac * 100.0, 1)
                 << "% vs nominal unprotected\n";

@@ -37,14 +37,15 @@ int main(int argc, char** argv) {
             << record.samples.size() << " samples @ " << record.fs_hz
             << " Hz, " << record.r_locations.size() << " beats\n";
 
-  // The adaptive policy picks the EMT for this supply voltage.
+  // The adaptive policy picks the EMT (by registry name) for this supply
+  // voltage.
   const core::AdaptivePolicy policy = core::AdaptivePolicy::paper_dwt_policy();
-  const core::EmtKind emt_kind = policy.select(voltage);
+  const std::string emt_name = policy.select(voltage);
   std::cout << "Supply " << voltage << " V -> policy selects EMT: "
-            << core::emt_kind_name(emt_kind) << "\n\n";
+            << emt_name << "\n\n";
 
   // Fault environment for this voltage.
-  const auto ber_model = mem::make_ber_model(mem::BerModelKind::kLogLinear);
+  const auto ber_model = mem::make_ber_model("log-linear");
   util::Xoshiro256 rng(seed);
   const mem::FaultMap faults = mem::FaultMap::random(
       mem::MemoryGeometry::kWords16, 22, ber_model->ber(voltage), rng);
@@ -56,7 +57,7 @@ int main(int argc, char** argv) {
   // Stage 1: morphological filtering.
   const apps::MorphFilterApp morph;
   const sim::RunResult morph_r =
-      runner.run_once(morph, record, emt_kind, &faults, voltage);
+      runner.run_once(morph, record, emt_name, &faults, voltage);
   table.add_row({"morph_filter", util::fmt(morph_r.snr_db, 1),
                  util::fmt(morph_r.energy.total_j() * 1e6, 4),
                  std::to_string(morph_r.counters.corrected_words)});
@@ -64,8 +65,8 @@ int main(int argc, char** argv) {
   // Stage 2: delineation — also score against the generator ground truth.
   const apps::DelineationApp delineator;
   const sim::RunResult delin_r =
-      runner.run_once(delineator, record, emt_kind, &faults, voltage);
-  const auto emt = core::make_emt(emt_kind);
+      runner.run_once(delineator, record, emt_name, &faults, voltage);
+  const auto emt = core::make_emt(emt_name);
   core::MemorySystem delin_sys(*emt);
   delin_sys.attach_faults(&faults);
   const metrics::FiducialList detected =
@@ -89,7 +90,7 @@ int main(int argc, char** argv) {
   // Stage 3: compressed sensing for transmission.
   const apps::CsApp cs_app;
   const sim::RunResult cs_r =
-      runner.run_once(cs_app, record, emt_kind, &faults, voltage);
+      runner.run_once(cs_app, record, emt_name, &faults, voltage);
   table.add_row({"compressed_sensing", util::fmt(cs_r.snr_db, 1),
                  util::fmt(cs_r.energy.total_j() * 1e6, 4),
                  std::to_string(cs_r.counters.corrected_words)});
@@ -101,7 +102,7 @@ int main(int argc, char** argv) {
             << "%, PPV = " << util::fmt(score.ppv() * 100.0, 1) << "%\n";
 
   const double nominal = runner
-                             .run_once(morph, record, core::EmtKind::kNone,
+                             .run_once(morph, record, "none",
                                        nullptr, mem::VoltageWindow::kNominal)
                              .energy.total_j();
   std::cout << "Energy vs nominal unprotected (morph stage): "

@@ -1,0 +1,55 @@
+#pragma once
+// Umbrella facade header — the supported include for library users:
+//
+//   #include <ulpdream/ulpdream.hpp>
+//
+// Pulls in the public surface of every module and lifts the main entry
+// points into the top-level ulpdream namespace. The extension seams are
+// the string-keyed registries (ulpdream::core::emt_registry(),
+// ulpdream::apps::app_registry(), ulpdream::mem::ber_model_registry()):
+// register a component under a name and every layer — campaign specs,
+// sweep configs, the campaign CLI and the Scenario builder — can select
+// it exactly like a built-in. See examples/custom_emt.cpp for an EMT
+// defined and registered entirely outside src/.
+
+// Core: EMT interface, registry-backed factory, adaptive policy, memory.
+#include "ulpdream/core/adaptive.hpp"
+#include "ulpdream/core/emt.hpp"
+#include "ulpdream/core/factory.hpp"
+#include "ulpdream/core/protected_buffer.hpp"
+
+// Fault environment: geometry, BER(V) models, fault maps.
+#include "ulpdream/mem/ber_model.hpp"
+#include "ulpdream/mem/fault_map.hpp"
+#include "ulpdream/mem/memory.hpp"
+
+// Applications and signal sources.
+#include "ulpdream/apps/app.hpp"
+#include "ulpdream/ecg/database.hpp"
+#include "ulpdream/ecg/generator.hpp"
+
+// Experiment machinery: runner, sweeps, policy search, campaigns.
+#include "ulpdream/campaign/engine.hpp"
+#include "ulpdream/campaign/result_store.hpp"
+#include "ulpdream/campaign/scenario.hpp"
+#include "ulpdream/campaign/spec.hpp"
+#include "ulpdream/sim/policy_explorer.hpp"
+#include "ulpdream/sim/runner.hpp"
+
+// Metrics and shared utilities.
+#include "ulpdream/energy/energy_model.hpp"
+#include "ulpdream/metrics/quality.hpp"
+#include "ulpdream/util/registry.hpp"
+
+namespace ulpdream {
+
+/// The facade entry point: configure by name, run a campaign grid.
+using campaign::Scenario;
+using campaign::AggregateRow;
+using campaign::GroupBy;
+
+/// Registration metadata shared by all component registries.
+using util::Descriptor;
+using util::Registry;
+
+}  // namespace ulpdream

@@ -9,25 +9,86 @@
 #include "ulpdream/apps/dwt_app.hpp"
 #include "ulpdream/apps/matrix_filter_app.hpp"
 #include "ulpdream/apps/morph_filter_app.hpp"
+#include "ulpdream/core/factory.hpp"
 
 namespace ulpdream::apps {
 
-const char* app_kind_name(AppKind kind) {
-  switch (kind) {
-    case AppKind::kDwt:
-      return "dwt";
-    case AppKind::kMatrixFilter:
-      return "matrix_filter";
-    case AppKind::kCompressedSensing:
-      return "cs";
-    case AppKind::kMorphFilter:
-      return "morph_filter";
-    case AppKind::kDelineation:
-      return "delineation";
-    case AppKind::kHeartbeatClassifier:
-      return "heartbeat_classifier";
-  }
-  return "unknown";
+util::Registry<BioApp>& app_registry() {
+  static util::Registry<BioApp> registry("app");
+  static const bool built_ins = [] {
+    using core::kCapExtendedTier;
+    using core::kCapPaper;
+    registry.register_factory(
+        "dwt", [] { return std::make_unique<DwtApp>(); },
+        {"DWT compression",
+         "multi-level db4 wavelet transform of the ECG window",
+         {kCapPaper},
+         static_cast<int>(AppKind::kDwt)});
+    registry.register_factory(
+        "matrix_filter", [] { return std::make_unique<MatrixFilterApp>(); },
+        {"Matrix FIR filter",
+         "band-pass FIR as dense matrix-vector products",
+         {kCapPaper},
+         static_cast<int>(AppKind::kMatrixFilter)});
+    registry.register_factory(
+        "cs", [] { return std::make_unique<CsApp>(); },
+        {"Compressed sensing",
+         "Bernoulli sensing + OMP reconstruction (lossy transmit path)",
+         {kCapPaper},
+         static_cast<int>(AppKind::kCompressedSensing)});
+    registry.register_factory(
+        "morph_filter", [] { return std::make_unique<MorphFilterApp>(); },
+        {"Morphological filter",
+         "open/close baseline removal on the raw trace",
+         {kCapPaper},
+         static_cast<int>(AppKind::kMorphFilter)});
+    registry.register_factory(
+        "delineation", [] { return std::make_unique<DelineationApp>(); },
+        {"Wavelet delineation",
+         "P/Q/R/S/T fiducial detection on the SWT envelope",
+         {kCapPaper},
+         static_cast<int>(AppKind::kDelineation)});
+    registry.register_factory(
+        "heartbeat_classifier", [] { return std::make_unique<ClassifierApp>(); },
+        {"Heartbeat classifier",
+         "delineation + rule-based early classification (extension)",
+         {kCapExtendedTier},
+         static_cast<int>(AppKind::kHeartbeatClassifier)});
+    return true;
+  }();
+  (void)built_ins;
+  return registry;
+}
+
+std::unique_ptr<BioApp> make_app(const std::string& name) {
+  return app_registry().create(name);
+}
+
+std::vector<std::string> paper_app_names() {
+  return app_registry().names_with(core::kCapPaper);
+}
+
+std::vector<std::string> app_names() { return app_registry().names(); }
+
+std::string app_kind_name(AppKind kind) {
+  return app_registry().name_by_tag(static_cast<int>(kind));
+}
+
+std::unique_ptr<BioApp> make_app(AppKind kind) {
+  return make_app(app_kind_name(kind));
+}
+
+const std::vector<AppKind>& all_app_kinds() {
+  static const std::vector<AppKind> kinds =
+      util::tags_as(app_registry().tags_with(core::kCapPaper),
+                    AppKind::kHeartbeatClassifier);
+  return kinds;
+}
+
+const std::vector<AppKind>& extended_app_kinds() {
+  static const std::vector<AppKind> kinds =
+      util::tags_as(app_registry().tags(), AppKind::kHeartbeatClassifier);
+  return kinds;
 }
 
 void load_input(core::ProtectedBuffer& buf, const fixed::SampleVec& samples,
@@ -42,39 +103,6 @@ std::vector<double> read_output_f64(const core::ProtectedBuffer& buf,
   std::vector<double> out(n);
   for (std::size_t i = 0; i < n; ++i) out[i] = static_cast<double>(raw[i]);
   return out;
-}
-
-std::unique_ptr<BioApp> make_app(AppKind kind) {
-  switch (kind) {
-    case AppKind::kDwt:
-      return std::make_unique<DwtApp>();
-    case AppKind::kMatrixFilter:
-      return std::make_unique<MatrixFilterApp>();
-    case AppKind::kCompressedSensing:
-      return std::make_unique<CsApp>();
-    case AppKind::kMorphFilter:
-      return std::make_unique<MorphFilterApp>();
-    case AppKind::kDelineation:
-      return std::make_unique<DelineationApp>();
-    case AppKind::kHeartbeatClassifier:
-      return std::make_unique<ClassifierApp>();
-  }
-  throw std::invalid_argument("make_app: unknown kind");
-}
-
-const std::vector<AppKind>& all_app_kinds() {
-  static const std::vector<AppKind> kinds = {
-      AppKind::kDwt, AppKind::kMatrixFilter, AppKind::kCompressedSensing,
-      AppKind::kMorphFilter, AppKind::kDelineation};
-  return kinds;
-}
-
-const std::vector<AppKind>& extended_app_kinds() {
-  static const std::vector<AppKind> kinds = {
-      AppKind::kDwt,         AppKind::kMatrixFilter,
-      AppKind::kCompressedSensing, AppKind::kMorphFilter,
-      AppKind::kDelineation, AppKind::kHeartbeatClassifier};
-  return kinds;
 }
 
 }  // namespace ulpdream::apps

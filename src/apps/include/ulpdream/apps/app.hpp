@@ -13,9 +13,13 @@
 
 #include "ulpdream/core/protected_buffer.hpp"
 #include "ulpdream/ecg/generator.hpp"
+#include "ulpdream/util/registry.hpp"
 
 namespace ulpdream::apps {
 
+/// Legacy identity of the built-in applications; survives only as a
+/// descriptor tag (see app_registry()). Apps registered from outside src/
+/// have no kind — they exist purely by name.
 enum class AppKind : std::uint8_t {
   kDwt = 0,
   kMatrixFilter,
@@ -28,13 +32,13 @@ enum class AppKind : std::uint8_t {
   kHeartbeatClassifier,
 };
 
-[[nodiscard]] const char* app_kind_name(AppKind kind);
+/// Registered name of a built-in kind (registry descriptor lookup).
+[[nodiscard]] std::string app_kind_name(AppKind kind);
 
 class BioApp {
  public:
   virtual ~BioApp() = default;
 
-  [[nodiscard]] virtual AppKind kind() const = 0;
   [[nodiscard]] virtual std::string name() const = 0;
 
   /// Number of input samples consumed from the record.
@@ -72,6 +76,23 @@ void load_input(core::ProtectedBuffer& buf, const fixed::SampleVec& samples,
                 std::size_t n);
 [[nodiscard]] std::vector<double> read_output_f64(
     const core::ProtectedBuffer& buf, std::size_t n);
+
+/// The process-wide application registry. Built-ins (the paper's five
+/// case studies plus the heartbeat-classifier extension) register on
+/// first access, in presentation order; register_factory() adds user
+/// applications, selectable by name everywhere a built-in is.
+[[nodiscard]] util::Registry<BioApp>& app_registry();
+
+/// Instantiates the app registered under `name`. Throws
+/// std::invalid_argument listing the valid names on an unknown name.
+[[nodiscard]] std::unique_ptr<BioApp> make_app(const std::string& name);
+
+/// Registered names: the paper's five case studies, and every registered
+/// name (built-ins first, then user registrations).
+[[nodiscard]] std::vector<std::string> paper_app_names();
+[[nodiscard]] std::vector<std::string> app_names();
+
+// --- legacy enum shims -----------------------------------------------------
 
 [[nodiscard]] std::unique_ptr<BioApp> make_app(AppKind kind);
 /// The paper's five case studies (Fig. 2 / Fig. 4 iterate over these).

@@ -46,9 +46,6 @@ class ClassifierApp final : public BioApp {
  public:
   explicit ClassifierApp(ClassifierConfig cfg = {});
 
-  [[nodiscard]] AppKind kind() const override {
-    return AppKind::kHeartbeatClassifier;
-  }
   [[nodiscard]] std::string name() const override {
     return "heartbeat_classifier";
   }

@@ -25,9 +25,6 @@ class CsApp final : public BioApp {
  public:
   explicit CsApp(CsAppConfig cfg = {});
 
-  [[nodiscard]] AppKind kind() const override {
-    return AppKind::kCompressedSensing;
-  }
   [[nodiscard]] std::string name() const override { return "cs"; }
   [[nodiscard]] std::size_t input_length() const override {
     return cfg_.blocks * cfg_.cs.block_n;

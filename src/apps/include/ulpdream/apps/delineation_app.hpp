@@ -35,7 +35,6 @@ class DelineationApp final : public BioApp {
  public:
   explicit DelineationApp(DelineationConfig cfg = {}) : cfg_(cfg) {}
 
-  [[nodiscard]] AppKind kind() const override { return AppKind::kDelineation; }
   [[nodiscard]] std::string name() const override { return "delineation"; }
   [[nodiscard]] std::size_t input_length() const override { return cfg_.n; }
   [[nodiscard]] std::size_t footprint_words() const override {

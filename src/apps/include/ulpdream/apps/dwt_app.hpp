@@ -19,7 +19,6 @@ class DwtApp final : public BioApp {
  public:
   explicit DwtApp(DwtAppConfig cfg = {}) : cfg_(cfg) {}
 
-  [[nodiscard]] AppKind kind() const override { return AppKind::kDwt; }
   [[nodiscard]] std::string name() const override { return "dwt"; }
   [[nodiscard]] std::size_t input_length() const override { return cfg_.n; }
   [[nodiscard]] std::size_t footprint_words() const override {

@@ -29,7 +29,6 @@ class MatrixFilterApp final : public BioApp {
  public:
   explicit MatrixFilterApp(MatrixFilterConfig cfg = {});
 
-  [[nodiscard]] AppKind kind() const override { return AppKind::kMatrixFilter; }
   [[nodiscard]] std::string name() const override { return "matrix_filter"; }
   [[nodiscard]] std::size_t input_length() const override { return cfg_.n; }
   [[nodiscard]] std::size_t footprint_words() const override {

@@ -19,7 +19,6 @@ class MorphFilterApp final : public BioApp {
  public:
   explicit MorphFilterApp(MorphFilterConfig cfg = {}) : cfg_(cfg) {}
 
-  [[nodiscard]] AppKind kind() const override { return AppKind::kMorphFilter; }
   [[nodiscard]] std::string name() const override { return "morph_filter"; }
   [[nodiscard]] std::size_t input_length() const override { return cfg_.n; }
   [[nodiscard]] std::size_t footprint_words() const override {

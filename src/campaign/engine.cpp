@@ -19,13 +19,10 @@ namespace {
 /// paper's Sec. V fairness protocol, now per grid item.
 void run_item(sim::ExperimentRunner& runner, const CampaignSpec& spec,
               const std::vector<std::unique_ptr<apps::BioApp>>& app_objs,
+              const std::vector<std::unique_ptr<core::Emt>>& emt_objs,
               const std::vector<ecg::Record>& records,
-              const mem::BerModel& ber_model, const WorkItem& item,
-              std::vector<Sample>& samples) {
-  // Maps are generated at the widest payload (ECC's 22 bits) so the same
-  // cell fault locations apply to every EMT; narrower payloads simply
-  // never touch the high columns.
-  const int map_bits = core::EccSecDed::kPayloadBits;
+              const mem::BerModel& ber_model, int map_bits,
+              const WorkItem& item, std::vector<Sample>& samples) {
   const double v = spec.voltages[item.voltage_index];
   const ecg::Record& record = records[item.record_index];
 
@@ -35,8 +32,8 @@ void run_item(sim::ExperimentRunner& runner, const CampaignSpec& spec,
 
   samples.clear();
   for (const auto& app : app_objs) {
-    for (core::EmtKind emt : spec.emts) {
-      const sim::RunResult r = runner.run_once(*app, record, emt, &map, v);
+    for (const auto& emt : emt_objs) {
+      const sim::RunResult r = runner.run_once(*app, record, *emt, &map, v);
       Sample s;
       s.snr_db = r.snr_db;
       s.energy = r.energy;
@@ -92,9 +89,29 @@ ResultStore CampaignEngine::run(const CampaignSpec& base_spec,
     // against another's golden reference. The axis label is unique.
     records.back().name = axis.label();
   }
+  // Components resolve by registry name once per campaign — a user EMT or
+  // app registered outside src/ runs here exactly like a built-in. EMTs
+  // and apps are stateless, so the pool shares them read-only.
   std::vector<std::unique_ptr<apps::BioApp>> app_objs;
   app_objs.reserve(spec.apps.size());
-  for (apps::AppKind kind : spec.apps) app_objs.push_back(apps::make_app(kind));
+  for (const std::string& name : spec.apps) {
+    app_objs.push_back(apps::make_app(name));
+  }
+  std::vector<std::unique_ptr<core::Emt>> emt_objs;
+  emt_objs.reserve(spec.emts.size());
+  for (const std::string& name : spec.emts) {
+    emt_objs.push_back(core::make_emt(name));
+  }
+
+  // Maps are generated at the campaign's widest payload so the same cell
+  // fault locations apply to every EMT (narrower payloads simply never
+  // touch the high columns) — at least ECC's 22 bits, so the built-in
+  // grids keep their historical maps, and wider when a registered EMT
+  // needs more columns.
+  int map_bits = core::EccSecDed::kPayloadBits;
+  for (const auto& emt : emt_objs) {
+    map_bits = std::max(map_bits, emt->payload_bits());
+  }
 
   // Sparse shard store: slots for exactly this shard's items, so memory
   // scales with the shard, and the concurrent record_item calls below hit
@@ -119,8 +136,8 @@ ResultStore CampaignEngine::run(const CampaignSpec& base_spec,
   util::parallel_for_index(items.size(), threads_, [&] {
     return [&, runner = sim::ExperimentRunner(energy_model_),
             samples = std::vector<Sample>()](std::size_t i) mutable {
-      run_item(runner, spec, app_objs, records, *ber_model, items[i],
-               samples);
+      run_item(runner, spec, app_objs, emt_objs, records, *ber_model,
+               map_bits, items[i], samples);
       store.record_item(items[i], samples);
     };
   });

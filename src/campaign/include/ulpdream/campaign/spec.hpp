@@ -34,13 +34,17 @@ struct RecordAxis {
 };
 
 struct CampaignSpec {
-  std::vector<apps::AppKind> apps;      ///< default: the paper's five
-  std::vector<core::EmtKind> emts;      ///< default: none, DREAM, ECC
+  /// Component axes are registry *names* (core::emt_registry(),
+  /// apps::app_registry(), mem::ber_model_registry()), so user-registered
+  /// components run through the engine exactly like the built-ins. Names
+  /// resolve at execution time; unknown names throw listing the valid set.
+  std::vector<std::string> apps;        ///< default: the paper's five
+  std::vector<std::string> emts;        ///< default: none, dream, ecc_secded
   std::vector<double> voltages;         ///< default: 0.50..0.90 step 0.05
   std::vector<RecordAxis> records;      ///< default: one normal-sinus trace
   std::size_t repetitions = 30;         ///< Monte-Carlo fault maps per cell
   std::uint64_t seed = 2016;
-  mem::BerModelKind ber_model = mem::BerModelKind::kLogLinear;
+  std::string ber_model = "log-linear";
   /// Record-generation front-end shared by every RecordAxis entry.
   double fs_hz = 250.0;
   double duration_s = 8.2;
@@ -89,12 +93,12 @@ struct WorkItem {
                                                  std::size_t shard_count);
 
 /// Axis-list parsers for CLI drivers. Each accepts a comma-separated list
-/// of names, or "paper" (the paper's evaluated set) or "all" (paper +
-/// this library's extensions). Throws std::invalid_argument with the
-/// valid names on unknown input.
-[[nodiscard]] std::vector<apps::AppKind> parse_app_list(
+/// of registry names, or "paper" (the paper's evaluated set) or "all"
+/// (every registered name, including user registrations). Throws
+/// std::invalid_argument with the valid names on unknown input.
+[[nodiscard]] std::vector<std::string> parse_app_list(
     const std::string& list);
-[[nodiscard]] std::vector<core::EmtKind> parse_emt_list(
+[[nodiscard]] std::vector<std::string> parse_emt_list(
     const std::string& list);
 [[nodiscard]] std::vector<ecg::Pathology> parse_pathology_list(
     const std::string& list);

@@ -208,8 +208,8 @@ std::vector<AggregateRow> ResultStore::aggregate(const GroupBy& group) const {
           const GroupAccum& a = accums[((ri * ga + ai) * ge + ei) * gv + vi];
           AggregateRow row;
           if (group.record) row.record = spec_.records[ri].label();
-          if (group.app) row.app = apps::app_kind_name(spec_.apps[ai]);
-          if (group.emt) row.emt = core::emt_kind_name(spec_.emts[ei]);
+          if (group.app) row.app = spec_.apps[ai];
+          if (group.emt) row.emt = spec_.emts[ei];
           row.voltage = group.voltage ? spec_.voltages[vi] : kNan;
           row.n = a.snr.count();
           row.snr_mean_db = a.snr.mean();

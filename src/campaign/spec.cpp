@@ -48,15 +48,25 @@ std::vector<Kind> parse_kind_list(const std::string& list,
   return out;
 }
 
-const char* ber_model_kind_name(mem::BerModelKind kind) {
-  // Matches the BerModel::name() strings without instantiating a model.
-  switch (kind) {
-    case mem::BerModelKind::kLogLinear:
-      return "log-linear";
-    case mem::BerModelKind::kProbit:
-      return "probit";
+/// Registry-backed axis parser: validates every element of the comma list
+/// against the registry (whose unknown-name error lists the valid names,
+/// extended with the paper/all shorthands).
+template <typename T>
+std::vector<std::string> parse_name_list(const std::string& list,
+                                         const util::Registry<T>& registry) {
+  std::vector<std::string> out;
+  for (const std::string& name : util::split_list(list)) {
+    if (!registry.contains(name)) {
+      throw std::invalid_argument("unknown " + registry.noun() + ": " + name +
+                                  " (valid: " + registry.valid_names() +
+                                  ", or paper/all)");
+    }
+    out.push_back(name);
   }
-  return "unknown";
+  if (out.empty()) {
+    throw std::invalid_argument("empty " + registry.noun() + " list");
+  }
+  return out;
 }
 
 }  // namespace
@@ -68,8 +78,8 @@ std::string RecordAxis::label() const {
 
 CampaignSpec CampaignSpec::normalized() const {
   CampaignSpec out = *this;
-  if (out.apps.empty()) out.apps = apps::all_app_kinds();
-  if (out.emts.empty()) out.emts = core::all_emt_kinds();
+  if (out.apps.empty()) out.apps = apps::paper_app_names();
+  if (out.emts.empty()) out.emts = core::paper_emt_names();
   if (out.voltages.empty()) {
     out.voltages = voltage_range(mem::VoltageWindow::kMin,
                                  mem::VoltageWindow::kNominal,
@@ -110,16 +120,15 @@ std::size_t CampaignSpec::cell_count() const {
 std::string CampaignSpec::fingerprint() const {
   std::ostringstream os;
   os << "apps:";
-  for (auto a : apps) os << ' ' << apps::app_kind_name(a);
+  for (const auto& a : apps) os << ' ' << a;
   os << "|emts:";
-  for (auto e : emts) os << ' ' << core::emt_kind_name(e);
+  for (const auto& e : emts) os << ' ' << e;
   os << "|voltages:";
   for (double v : voltages) os << ' ' << util::fmt_exact(v);
   os << "|records:";
   for (const auto& r : records) os << ' ' << r.label();
   os << "|reps:" << repetitions << "|seed:" << seed
-     << "|ber:" << ber_model_kind_name(ber_model)
-     << "|fs:" << util::fmt_exact(fs_hz)
+     << "|ber:" << ber_model << "|fs:" << util::fmt_exact(fs_hz)
      << "|dur:" << util::fmt_exact(duration_s);
   return os.str();
 }
@@ -155,18 +164,16 @@ std::vector<WorkItem> expand_shard(const CampaignSpec& spec,
   return mine;
 }
 
-std::vector<apps::AppKind> parse_app_list(const std::string& list) {
-  if (list == "paper") return apps::all_app_kinds();
-  if (list == "all") return apps::extended_app_kinds();
-  return parse_kind_list<apps::AppKind>(list, apps::extended_app_kinds(),
-                                        apps::app_kind_name, "app");
+std::vector<std::string> parse_app_list(const std::string& list) {
+  if (list == "paper") return apps::paper_app_names();
+  if (list == "all") return apps::app_names();
+  return parse_name_list(list, apps::app_registry());
 }
 
-std::vector<core::EmtKind> parse_emt_list(const std::string& list) {
-  if (list == "paper") return core::all_emt_kinds();
-  if (list == "all") return core::extended_emt_kinds();
-  return parse_kind_list<core::EmtKind>(list, core::extended_emt_kinds(),
-                                        core::emt_kind_name, "emt");
+std::vector<std::string> parse_emt_list(const std::string& list) {
+  if (list == "paper") return core::paper_emt_names();
+  if (list == "all") return core::emt_names();
+  return parse_name_list(list, core::emt_registry());
 }
 
 std::vector<ecg::Pathology> parse_pathology_list(const std::string& list) {

@@ -6,10 +6,11 @@
 namespace ulpdream::core {
 
 AdaptivePolicy::AdaptivePolicy(std::vector<PolicyRange> ranges) {
-  for (const auto& r : ranges) add_range(r.v_low, r.v_high, r.emt);
+  for (auto& r : ranges) add_range(r.v_low, r.v_high, r.emt);
 }
 
-void AdaptivePolicy::add_range(double v_low, double v_high, EmtKind emt) {
+void AdaptivePolicy::add_range(double v_low, double v_high,
+                               const std::string& emt) {
   if (!(v_low < v_high)) {
     throw std::invalid_argument("AdaptivePolicy: v_low must be < v_high");
   }
@@ -25,12 +26,12 @@ void AdaptivePolicy::add_range(double v_low, double v_high, EmtKind emt) {
             });
 }
 
-EmtKind AdaptivePolicy::select(double v) const {
-  if (ranges_.empty()) return EmtKind::kNone;
+std::string AdaptivePolicy::select(double v) const {
+  if (ranges_.empty()) return "none";
   for (const auto& r : ranges_) {
     if (v >= r.v_low && v < r.v_high) return r.emt;
   }
-  if (v >= ranges_.back().v_high) return EmtKind::kNone;
+  if (v >= ranges_.back().v_high) return "none";
   // Below all ranges: strongest protection (last resort). The paper notes
   // voltages < 0.55 V require multi-error EMTs; we return the lowest
   // range's technique as the best available.
@@ -39,9 +40,9 @@ EmtKind AdaptivePolicy::select(double v) const {
 
 AdaptivePolicy AdaptivePolicy::paper_dwt_policy() {
   AdaptivePolicy policy;
-  policy.add_range(0.85, 0.90 + 1e-9, EmtKind::kNone);
-  policy.add_range(0.65, 0.85, EmtKind::kDream);
-  policy.add_range(0.55, 0.65, EmtKind::kEccSecDed);
+  policy.add_range(0.85, 0.90 + 1e-9, "none");
+  policy.add_range(0.65, 0.85, "dream");
+  policy.add_range(0.55, 0.65, "ecc_secded");
   return policy;
 }
 

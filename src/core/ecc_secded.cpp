@@ -18,20 +18,97 @@ EccSecDed::EccSecDed() {
     if (is_power_of_two(pos)) continue;  // parity positions 1,2,4,8,16
     data_pos_[static_cast<std::size_t>(next++)] = pos;
   }
+
+  // Parity-check planes: plane k covers every (1-based) position whose
+  // bit k is set. The syndrome's bit k is the parity of payload & plane —
+  // the XOR-of-positions form of the reference decoder, decomposed per
+  // bit plane so decode costs 5 popcounts instead of a 21-iteration loop.
+  for (int k = 0; k < 5; ++k) {
+    std::uint32_t plane = 0;
+    for (int pos = 1; pos <= kHammingBits; ++pos) {
+      if ((pos >> k) & 1) plane |= 1u << (pos - 1);
+    }
+    syndrome_plane_[static_cast<std::size_t>(k)] = plane;
+  }
+
+  // Syndrome -> action LUT (64 entries: 5-bit syndrome x overall parity),
+  // the case analysis of extended-Hamming decoding resolved once per
+  // codec instead of per word.
+  for (int overall = 0; overall < 2; ++overall) {
+    for (int syndrome = 0; syndrome < 32; ++syndrome) {
+      SyndromeEntry e;
+      if (syndrome == 0 && overall == 0) {
+        e.outcome = static_cast<std::uint8_t>(Outcome::kClean);
+      } else if (overall != 0) {
+        // Odd number of errors — assume one and correct it. syndrome == 0
+        // means the flipped bit was the overall parity bit itself; a
+        // syndrome pointing outside the codeword is >= 3 aliased errors.
+        if (syndrome >= 1 && syndrome <= kHammingBits) {
+          e.flip = 1u << (syndrome - 1);
+          e.outcome = static_cast<std::uint8_t>(Outcome::kCorrected);
+        } else if (syndrome == 0) {
+          e.outcome = static_cast<std::uint8_t>(Outcome::kCorrected);
+        } else {
+          e.outcome =
+              static_cast<std::uint8_t>(Outcome::kDetectedUncorrectable);
+        }
+      } else {
+        // syndrome != 0, overall parity even: double error — detect only.
+        e.outcome =
+            static_cast<std::uint8_t>(Outcome::kDetectedUncorrectable);
+      }
+      syndrome_lut_[static_cast<std::size_t>(syndrome | (overall << 5))] = e;
+    }
+  }
+
+  // Data extraction as two table lookups over payload bits [0, 11) and
+  // [11, 21), and the inverse placement per data byte for encoding.
+  for (std::uint32_t v = 0; v < extract_lo_.size(); ++v) {
+    std::uint16_t data = 0;
+    for (int i = 0; i < 16; ++i) {
+      const int cb = data_pos_[static_cast<std::size_t>(i)] - 1;
+      if (cb < 11 && ((v >> cb) & 1u)) {
+        data |= static_cast<std::uint16_t>(1u << i);
+      }
+    }
+    extract_lo_[v] = data;
+  }
+  for (std::uint32_t v = 0; v < extract_hi_.size(); ++v) {
+    std::uint16_t data = 0;
+    for (int i = 0; i < 16; ++i) {
+      const int cb = data_pos_[static_cast<std::size_t>(i)] - 1;
+      if (cb >= 11 && ((v >> (cb - 11)) & 1u)) {
+        data |= static_cast<std::uint16_t>(1u << i);
+      }
+    }
+    extract_hi_[v] = data;
+  }
+  for (std::uint32_t b = 0; b < 256; ++b) {
+    std::uint32_t lo = 0;
+    std::uint32_t hi = 0;
+    for (int i = 0; i < 8; ++i) {
+      if ((b >> i) & 1u) {
+        lo |= 1u << (data_pos_[static_cast<std::size_t>(i)] - 1);
+        hi |= 1u << (data_pos_[static_cast<std::size_t>(i + 8)] - 1);
+      }
+    }
+    place_lo_[b] = lo;
+    place_hi_[b] = hi;
+  }
 }
 
 std::uint32_t EccSecDed::compute_checked(std::uint32_t with_data) const {
   std::uint32_t code = with_data;
-  // Each parity bit at position 2^k covers all positions with bit k set.
+  // Each parity bit at position 2^k covers its plane minus itself.
+  // Previously-set parity positions are powers of two and never fall in a
+  // later plane, so accumulating into `code` matches the reference order.
   for (int k = 0; k < 5; ++k) {
-    const int ppos = 1 << k;
-    int parity = 0;
-    for (int pos = 1; pos <= kHammingBits; ++pos) {
-      if (pos == ppos) continue;
-      if ((pos & ppos) == 0) continue;
-      parity ^= static_cast<int>((code >> (pos - 1)) & 1u);
+    const std::uint32_t ppos_bit = 1u << ((1 << k) - 1);
+    if (std::popcount(code & (syndrome_plane_[static_cast<std::size_t>(k)] &
+                              ~ppos_bit)) &
+        1) {
+      code |= ppos_bit;
     }
-    if (parity != 0) code |= 1u << (ppos - 1);
   }
   // Overall parity across the 21 Hamming bits (even total parity over 22).
   const int overall = std::popcount(code & ((1u << kHammingBits) - 1u)) & 1;
@@ -41,57 +118,29 @@ std::uint32_t EccSecDed::compute_checked(std::uint32_t with_data) const {
 
 std::uint32_t EccSecDed::encode_payload(fixed::Sample s) const {
   const auto u = static_cast<std::uint16_t>(s);
-  std::uint32_t code = 0;
-  for (int i = 0; i < 16; ++i) {
-    if ((u >> i) & 1u) {
-      code |= 1u << (data_pos_[static_cast<std::size_t>(i)] - 1);
-    }
-  }
-  return compute_checked(code);
+  return compute_checked(place_lo_[u & 0xFFu] | place_hi_[u >> 8]);
 }
 
 fixed::Sample EccSecDed::extract_data(std::uint32_t codeword) const {
-  std::uint16_t data = 0;
-  for (int i = 0; i < 16; ++i) {
-    if ((codeword >> (data_pos_[static_cast<std::size_t>(i)] - 1)) & 1u) {
-      data |= static_cast<std::uint16_t>(1u << i);
-    }
-  }
-  return static_cast<fixed::Sample>(data);
+  return static_cast<fixed::Sample>(static_cast<std::uint16_t>(
+      extract_lo_[codeword & 0x7FFu] | extract_hi_[(codeword >> 11) & 0x3FFu]));
 }
 
 fixed::Sample EccSecDed::decode_ex(std::uint32_t payload,
                                    Outcome& outcome) const {
-  // Syndrome: XOR of the (1-based) positions whose stored bit is 1.
   int syndrome = 0;
-  for (int pos = 1; pos <= kHammingBits; ++pos) {
-    if ((payload >> (pos - 1)) & 1u) syndrome ^= pos;
+  for (int k = 0; k < 5; ++k) {
+    syndrome |=
+        (std::popcount(payload & syndrome_plane_[static_cast<std::size_t>(k)]) &
+         1)
+        << k;
   }
   const int overall =
       std::popcount(payload & ((1u << (kOverallBit + 1)) - 1u)) & 1;
-
-  if (syndrome == 0 && overall == 0) {
-    outcome = Outcome::kClean;
-    return extract_data(payload);
-  }
-  if (overall != 0) {
-    // Odd number of errors — assume one and correct it. syndrome == 0
-    // means the flipped bit was the overall parity bit itself.
-    std::uint32_t fixed_code = payload;
-    if (syndrome >= 1 && syndrome <= kHammingBits) {
-      fixed_code ^= 1u << (syndrome - 1);
-    } else if (syndrome != 0) {
-      // Syndrome points outside the codeword: >= 3 errors aliased; report
-      // detection and return the best-effort data.
-      outcome = Outcome::kDetectedUncorrectable;
-      return extract_data(payload);
-    }
-    outcome = Outcome::kCorrected;
-    return extract_data(fixed_code);
-  }
-  // syndrome != 0, overall parity even: double error — detectable only.
-  outcome = Outcome::kDetectedUncorrectable;
-  return extract_data(payload);
+  const SyndromeEntry& e =
+      syndrome_lut_[static_cast<std::size_t>(syndrome | (overall << 5))];
+  outcome = static_cast<Outcome>(e.outcome);
+  return extract_data(payload ^ e.flip);
 }
 
 fixed::Sample EccSecDed::decode(std::uint32_t payload, std::uint16_t /*safe*/,

@@ -10,44 +10,70 @@
 
 namespace ulpdream::core {
 
-const char* emt_kind_name(EmtKind kind) {
-  switch (kind) {
-    case EmtKind::kNone:
-      return "none";
-    case EmtKind::kDream:
-      return "dream";
-    case EmtKind::kEccSecDed:
-      return "ecc_secded";
-    case EmtKind::kDreamSecDed:
-      return "dream_secded";
-  }
-  return "unknown";
+util::Registry<Emt>& emt_registry() {
+  static util::Registry<Emt> registry("EMT");
+  static const bool built_ins = [] {
+    registry.register_factory(
+        "none", [] { return std::make_unique<NoProtection>(); },
+        {"No protection",
+         "raw 16-bit samples in the scaled memory (paper baseline)",
+         {kCapPaper},
+         static_cast<int>(EmtKind::kNone)});
+    registry.register_factory(
+        "dream", [] { return std::make_unique<Dream>(); },
+        {"DREAM",
+         "sign + run-length mask in error-free side memory, forces MSBs",
+         {kCapPaper, kCapCorrectsErrors, kCapSideMemory},
+         static_cast<int>(EmtKind::kDream)});
+    registry.register_factory(
+        "ecc_secded", [] { return std::make_unique<EccSecDed>(); },
+        {"ECC SEC/DED",
+         "extended Hamming(22,16): corrects 1, detects 2 errors per word",
+         {kCapPaper, kCapCorrectsErrors, kCapDetectsErrors},
+         static_cast<int>(EmtKind::kEccSecDed)});
+    registry.register_factory(
+        "dream_secded", [] { return std::make_unique<DreamSecDed>(); },
+        {"DREAM + SEC/DED",
+         "hybrid multi-error EMT for < 0.55 V operation (extension)",
+         {kCapExtendedTier, kCapCorrectsErrors, kCapDetectsErrors,
+          kCapSideMemory},
+         static_cast<int>(EmtKind::kDreamSecDed)});
+    return true;
+  }();
+  (void)built_ins;
+  return registry;
+}
+
+std::unique_ptr<Emt> make_emt(const std::string& name) {
+  return emt_registry().create(name);
+}
+
+std::vector<std::string> paper_emt_names() {
+  return emt_registry().names_with(kCapPaper);
+}
+
+std::vector<std::string> emt_names() { return emt_registry().names(); }
+
+std::string emt_kind_name(EmtKind kind) {
+  return emt_registry().name_by_tag(static_cast<int>(kind));
 }
 
 std::unique_ptr<Emt> make_emt(EmtKind kind) {
-  switch (kind) {
-    case EmtKind::kNone:
-      return std::make_unique<NoProtection>();
-    case EmtKind::kDream:
-      return std::make_unique<Dream>();
-    case EmtKind::kEccSecDed:
-      return std::make_unique<EccSecDed>();
-    case EmtKind::kDreamSecDed:
-      return std::make_unique<DreamSecDed>();
-  }
-  throw std::invalid_argument("make_emt: unknown kind");
+  return make_emt(emt_kind_name(kind));
 }
 
 const std::vector<EmtKind>& all_emt_kinds() {
-  static const std::vector<EmtKind> kinds = {
-      EmtKind::kNone, EmtKind::kDream, EmtKind::kEccSecDed};
+  static const std::vector<EmtKind> kinds =
+      util::tags_as(emt_registry().tags_with(kCapPaper),
+                    EmtKind::kDreamSecDed);
   return kinds;
 }
 
 const std::vector<EmtKind>& extended_emt_kinds() {
-  static const std::vector<EmtKind> kinds = {
-      EmtKind::kNone, EmtKind::kDream, EmtKind::kEccSecDed,
-      EmtKind::kDreamSecDed};
+  // Every *tagged* entry, i.e. the built-ins; names registered later have
+  // no enum identity by design.
+  static const std::vector<EmtKind> kinds =
+      util::tags_as(emt_registry().tags(), EmtKind::kDreamSecDed);
   return kinds;
 }
 

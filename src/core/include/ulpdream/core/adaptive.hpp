@@ -2,19 +2,22 @@
 // Voltage-range EMT selection (paper Sec. VI-C): the system triggers
 // no-protection / DREAM / ECC depending on the memory supply voltage so
 // that output quality stays within the application's tolerance while
-// minimizing protection overhead.
+// minimizing protection overhead. Ranges name their EMT by registry name,
+// so a policy can trigger user-registered techniques too.
 
+#include <string>
 #include <vector>
 
 #include "ulpdream/core/emt.hpp"
 
 namespace ulpdream::core {
 
-/// One policy entry: use `emt` for supply voltages in [v_low, v_high).
+/// One policy entry: use the EMT registered under `emt` for supply
+/// voltages in [v_low, v_high).
 struct PolicyRange {
   double v_low;
   double v_high;
-  EmtKind emt;
+  std::string emt;
 };
 
 class AdaptivePolicy {
@@ -24,12 +27,12 @@ class AdaptivePolicy {
 
   /// Adds a range; ranges may be appended in any order but must not
   /// overlap. Throws std::invalid_argument on overlap or v_low >= v_high.
-  void add_range(double v_low, double v_high, EmtKind emt);
+  void add_range(double v_low, double v_high, const std::string& emt);
 
-  /// EMT for the given voltage. Voltages above every range fall back to
-  /// kNone (nominal operation needs no protection); voltages below every
-  /// range return the strongest configured EMT for safety.
-  [[nodiscard]] EmtKind select(double v) const;
+  /// EMT name for the given voltage. Voltages above every range fall back
+  /// to "none" (nominal operation needs no protection); voltages below
+  /// every range return the strongest configured EMT for safety.
+  [[nodiscard]] std::string select(double v) const;
 
   [[nodiscard]] const std::vector<PolicyRange>& ranges() const noexcept {
     return ranges_;

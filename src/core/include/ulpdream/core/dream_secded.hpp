@@ -30,7 +30,6 @@ class DreamSecDed final : public Emt {
  public:
   DreamSecDed() = default;
 
-  [[nodiscard]] EmtKind kind() const override { return EmtKind::kDreamSecDed; }
   [[nodiscard]] std::string name() const override { return "dream_secded"; }
   [[nodiscard]] int payload_bits() const override {
     return EccSecDed::kPayloadBits;
@@ -46,6 +45,14 @@ class DreamSecDed final : public Emt {
   [[nodiscard]] fixed::Sample decode(
       std::uint32_t payload, std::uint16_t safe,
       CodecCounters* counters = nullptr) const override;
+
+  // Hybrid runs both codecs back to back.
+  [[nodiscard]] double encode_energy_pj() const override {
+    return ecc_.encode_energy_pj() + dream_.encode_energy_pj();
+  }
+  [[nodiscard]] double decode_energy_pj() const override {
+    return ecc_.decode_energy_pj() + dream_.decode_energy_pj();
+  }
 
   void encode_block(std::span<const fixed::Sample> in,
                     std::span<std::uint32_t> payload,

@@ -22,6 +22,11 @@
 
 namespace ulpdream::core {
 
+/// Legacy identity of the four built-in EMTs. The library itself is
+/// name-addressed (see core::emt_registry() in factory.hpp); this enum
+/// survives only as an optional descriptor *tag* for stats code that
+/// still groups by it (codec area tables, the codec_energy shim). EMTs
+/// registered from outside src/ have no kind — they exist purely by name.
 enum class EmtKind : std::uint8_t {
   kNone = 0,
   kDream,
@@ -32,7 +37,8 @@ enum class EmtKind : std::uint8_t {
   kDreamSecDed,
 };
 
-[[nodiscard]] const char* emt_kind_name(EmtKind kind);
+/// Registered name of a built-in kind (registry descriptor lookup).
+[[nodiscard]] std::string emt_kind_name(EmtKind kind);
 
 /// Decode-side observability: how often the technique corrected or gave up.
 struct CodecCounters {
@@ -47,7 +53,6 @@ class Emt {
  public:
   virtual ~Emt() = default;
 
-  [[nodiscard]] virtual EmtKind kind() const = 0;
   [[nodiscard]] virtual std::string name() const = 0;
 
   /// Bits stored per word in the voltage-scaled data memory (>= 16).
@@ -67,6 +72,13 @@ class Emt {
   [[nodiscard]] virtual fixed::Sample decode(
       std::uint32_t payload, std::uint16_t safe,
       CodecCounters* counters = nullptr) const = 0;
+
+  /// Per-operation codec energy in pJ (logic domain, voltage-invariant:
+  /// the codec must stay at a safe supply to function). Part of the EMT
+  /// interface so user-registered techniques carry their own energy model
+  /// instead of being keyed off an enum the registry does not know.
+  [[nodiscard]] virtual double encode_energy_pj() const { return 0.0; }
+  [[nodiscard]] virtual double decode_energy_pj() const { return 0.0; }
 
   /// Block codec entry points — one virtual dispatch per *window* instead
   /// of per word. The base implementations loop over the scalar virtuals;

@@ -7,7 +7,6 @@ namespace ulpdream::core {
 
 class NoProtection final : public Emt {
  public:
-  [[nodiscard]] EmtKind kind() const override { return EmtKind::kNone; }
   [[nodiscard]] std::string name() const override { return "none"; }
   [[nodiscard]] int payload_bits() const override {
     return fixed::kSampleBits;

@@ -1,7 +1,8 @@
 #include "ulpdream/energy/energy_model.hpp"
 
 #include <cmath>
-#include <stdexcept>
+
+#include "ulpdream/core/factory.hpp"
 
 namespace ulpdream::energy {
 
@@ -23,25 +24,12 @@ double MemoryEnergyParams::leak_power_w(double v, int bits, std::size_t words,
   return cells * leak_w_per_bit_nominal * v_scale * factor;
 }
 
+CodecEnergyParams codec_energy(const core::Emt& emt) {
+  return {emt.encode_energy_pj(), emt.decode_energy_pj()};
+}
+
 CodecEnergyParams codec_energy(core::EmtKind kind) {
-  // Calibrated against the paper's relative numbers: with these values and
-  // the applications' (read-heavy) access mixes, the average protection
-  // overhead across the 0.5-0.9 V sweep lands at ~34% (DREAM) and ~55%
-  // (ECC SEC/DED) — Sec. VI-B. The ECC/DREAM decoder energy ratio (2.2x)
-  // mirrors the synthesized area ratio; the encoder ratio (1.7x vs 1.28x
-  // area) reflects the wider 22-bit codeword switching per write.
-  switch (kind) {
-    case core::EmtKind::kNone:
-      return {0.0, 0.0};
-    case core::EmtKind::kDream:
-      return {0.35, 0.55};
-    case core::EmtKind::kEccSecDed:
-      return {0.55, 1.30};
-    case core::EmtKind::kDreamSecDed:
-      // Hybrid runs both codecs back to back.
-      return {0.55 + 0.35, 1.30 + 0.55};
-  }
-  throw std::invalid_argument("codec_energy: unknown EMT kind");
+  return codec_energy(*core::make_emt(kind));
 }
 
 EnergyBreakdown SystemEnergyModel::compute(const core::Emt& emt, double v,
@@ -66,7 +54,7 @@ EnergyBreakdown SystemEnergyModel::compute(const core::Emt& emt, double v,
         t_run;
   }
 
-  const CodecEnergyParams codec = codec_energy(emt.kind());
+  const CodecEnergyParams codec = codec_energy(emt);
   out.codec_j = (static_cast<double>(data_stats.writes) * codec.encode_pj +
                  static_cast<double>(data_stats.reads) * codec.decode_pj) *
                 1e-12;

@@ -34,14 +34,41 @@ double ProbitBerModel::ber(double v) const {
   return 0.5 * std::erfc((v - v50_) / (std::sqrt(2.0) * sigma_));
 }
 
+util::Registry<BerModel>& ber_model_registry() {
+  static util::Registry<BerModel> registry("BER model");
+  static const bool built_ins = [] {
+    registry.register_factory(
+        "log-linear", [] { return std::make_unique<LogLinearBerModel>(); },
+        {"Log-linear BER(V)",
+         "log10(BER) linear in V, calibrated to the 0.5-0.9 V window",
+         {util::kCapPaper},
+         static_cast<int>(BerModelKind::kLogLinear)});
+    registry.register_factory(
+        "probit", [] { return std::make_unique<ProbitBerModel>(); },
+        {"Probit BER(V)",
+         "erfc cell-failure model from Gaussian Vth variation (D2 ablation)",
+         {util::kCapExtendedTier},
+         static_cast<int>(BerModelKind::kProbit)});
+    return true;
+  }();
+  (void)built_ins;
+  return registry;
+}
+
+std::unique_ptr<BerModel> make_ber_model(const std::string& name) {
+  return ber_model_registry().create(name);
+}
+
+std::vector<std::string> ber_model_names() {
+  return ber_model_registry().names();
+}
+
+std::string ber_model_kind_name(BerModelKind kind) {
+  return ber_model_registry().name_by_tag(static_cast<int>(kind));
+}
+
 std::unique_ptr<BerModel> make_ber_model(BerModelKind kind) {
-  switch (kind) {
-    case BerModelKind::kLogLinear:
-      return std::make_unique<LogLinearBerModel>();
-    case BerModelKind::kProbit:
-      return std::make_unique<ProbitBerModel>();
-  }
-  throw std::invalid_argument("unknown BER model kind");
+  return make_ber_model(ber_model_kind_name(kind));
 }
 
 }  // namespace ulpdream::mem

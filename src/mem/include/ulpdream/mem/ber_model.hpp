@@ -8,6 +8,9 @@
 
 #include <memory>
 #include <string>
+#include <vector>
+
+#include "ulpdream/util/registry.hpp"
 
 namespace ulpdream::mem {
 
@@ -65,7 +68,26 @@ class ProbitBerModel final : public BerModel {
   double sigma_;
 };
 
+/// The process-wide BER-model registry. Built-ins ("log-linear",
+/// "probit") register on first access; register_factory() adds user
+/// models, selectable by name in campaign specs and sweep configs.
+[[nodiscard]] util::Registry<BerModel>& ber_model_registry();
+
+/// Instantiates the model registered under `name`. Throws
+/// std::invalid_argument listing the valid names on an unknown name.
+[[nodiscard]] std::unique_ptr<BerModel> make_ber_model(
+    const std::string& name);
+
+/// All registered model names, built-ins first.
+[[nodiscard]] std::vector<std::string> ber_model_names();
+
+// --- legacy enum shims -----------------------------------------------------
+
+/// Survives only as a descriptor tag for code that still switches on it.
 enum class BerModelKind { kLogLinear, kProbit };
+
+/// Registered name of a built-in kind (registry descriptor lookup).
+[[nodiscard]] std::string ber_model_kind_name(BerModelKind kind);
 
 [[nodiscard]] std::unique_ptr<BerModel> make_ber_model(BerModelKind kind);
 

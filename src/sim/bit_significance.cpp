@@ -11,7 +11,7 @@ BitSignificanceResult run_bit_significance(
     const std::vector<ecg::Record>& records,
     const BitSignificanceConfig& cfg) {
   BitSignificanceResult result;
-  result.app = app.kind();
+  result.app = app.name();
 
   util::RunningStats max_stats;
   for (const auto& record : records) {
@@ -26,9 +26,8 @@ BitSignificanceResult run_bit_significance(
           polarity == 1);
       util::RunningStats stats;
       for (const auto& record : records) {
-        const RunResult run =
-            runner.run_once(app, record, core::EmtKind::kNone, &map,
-                            mem::VoltageWindow::kNominal);
+        const RunResult run = runner.run_once(
+            app, record, "none", &map, mem::VoltageWindow::kNominal);
         stats.add(run.snr_db);
       }
       result.snr_db[static_cast<std::size_t>(polarity)]

@@ -6,6 +6,7 @@
 // this is the pre-DREAM characterization of Sec. III.
 
 #include <array>
+#include <string>
 #include <vector>
 
 #include "ulpdream/apps/app.hpp"
@@ -14,7 +15,7 @@
 namespace ulpdream::sim {
 
 struct BitSignificanceResult {
-  apps::AppKind app;
+  std::string app;  ///< registry name
   /// snr_db[polarity][bit]: polarity 0 = stuck-at-0, 1 = stuck-at-1.
   std::array<std::array<double, 16>, 2> snr_db{};
   /// Highest bit position (scanning LSB up) still meeting `tolerance_db`

@@ -6,6 +6,7 @@
 // and the energy saved at each range's floor relative to nominal-voltage
 // unprotected operation.
 
+#include <string>
 #include <vector>
 
 #include "ulpdream/core/adaptive.hpp"
@@ -14,7 +15,7 @@
 namespace ulpdream::sim {
 
 struct EmtOperatingPoint {
-  core::EmtKind emt;
+  std::string emt;  ///< registry name
   double min_safe_voltage = 0.0;  ///< deepest V meeting the requirement
   double snr_at_floor_db = 0.0;
   double energy_at_floor_j = 0.0;

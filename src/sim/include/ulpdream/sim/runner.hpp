@@ -52,7 +52,14 @@ class ExperimentRunner {
                                    const core::Emt& emt,
                                    const mem::FaultMap* faults, double v);
 
-  /// Convenience: run with a kind (instantiates the paper-exact EMT).
+  /// Convenience: resolve the EMT by registry name and run.
+  [[nodiscard]] RunResult run_once(const apps::BioApp& app,
+                                   const ecg::Record& record,
+                                   const std::string& emt_name,
+                                   const mem::FaultMap* faults, double v);
+
+  /// Legacy convenience: run with a kind (instantiates the built-in EMT
+  /// tagged with it).
   [[nodiscard]] RunResult run_once(const apps::BioApp& app,
                                    const ecg::Record& record,
                                    core::EmtKind kind,

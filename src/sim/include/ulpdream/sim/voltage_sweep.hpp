@@ -7,6 +7,8 @@
 // and codec correction statistics.
 
 #include <cstdint>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "ulpdream/apps/app.hpp"
@@ -20,16 +22,19 @@ struct SweepConfig {
   std::vector<double> voltages;      ///< default: 0.50 .. 0.90 step 0.05
   std::size_t runs = 200;            ///< Monte-Carlo maps per point (paper)
   std::uint64_t seed = 2016;
-  mem::BerModelKind ber_model = mem::BerModelKind::kLogLinear;
-  std::vector<core::EmtKind> emts;   ///< default: none, DREAM, ECC
+  /// Registry names resolved through mem::ber_model_registry() and
+  /// core::emt_registry() — user-registered components are addressable
+  /// here exactly like the built-ins.
+  std::string ber_model = "log-linear";
+  std::vector<std::string> emts;     ///< default: none, dream, ecc_secded
   bool scramble_addresses = false;   ///< D3 ablation knob
 
   [[nodiscard]] static SweepConfig defaults();
 };
 
 struct SweepPoint {
-  apps::AppKind app;
-  core::EmtKind emt;
+  std::string app;  ///< registry names
+  std::string emt;
   double voltage = 0.0;
   double ber = 0.0;
   double snr_mean_db = 0.0;
@@ -49,7 +54,7 @@ struct SweepResult {
   double max_snr_db = 0.0;  ///< per-app dashed line (clean fixed vs golden)
   std::vector<SweepPoint> points;
 
-  [[nodiscard]] const SweepPoint* find(core::EmtKind emt, double v) const;
+  [[nodiscard]] const SweepPoint* find(std::string_view emt, double v) const;
 };
 
 /// Runs the sweep for one application over one record.

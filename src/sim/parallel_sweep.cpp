@@ -28,15 +28,17 @@ std::vector<SweepResult> ParallelSweepRunner::run_multi(
     const ecg::Record& record, const SweepConfig& base_cfg) const {
   const SweepConfig cfg = internal::normalize_config(base_cfg);
   const auto ber_model = mem::make_ber_model(cfg.ber_model);
+  const auto emts = internal::make_emts(cfg);
 
   internal::AccumGrid grid = internal::make_accum_grid(app_list.size(), cfg);
 
   // Work-stealing over voltage indices: each index owns an independent
-  // RNG stream and a disjoint slice of `grid`.
+  // RNG stream and a disjoint slice of `grid`. EMT objects are stateless
+  // and shared read-only across the pool.
   util::parallel_for_index(cfg.voltages.size(), threads_, [&] {
     return [&, runner = ExperimentRunner(energy_model_)](
                std::size_t vi) mutable {
-      internal::accumulate_voltage_point(runner, app_list, record, cfg,
+      internal::accumulate_voltage_point(runner, app_list, record, cfg, emts,
                                          *ber_model, vi, grid);
     };
   });

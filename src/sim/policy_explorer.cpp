@@ -20,7 +20,7 @@ PolicyResult explore_policy(const SweepResult& sweep, double threshold_db,
   };
 
   const SweepPoint* nominal =
-      sweep.find(core::EmtKind::kNone, mem::VoltageWindow::kNominal);
+      sweep.find("none", mem::VoltageWindow::kNominal);
   if (nominal == nullptr) {
     throw std::invalid_argument(
         "explore_policy: sweep lacks the nominal unprotected point");
@@ -31,7 +31,7 @@ PolicyResult explore_policy(const SweepResult& sweep, double threshold_db,
   std::vector<double> voltages = sweep.config.voltages;
   std::sort(voltages.begin(), voltages.end());
 
-  for (core::EmtKind emt : sweep.config.emts) {
+  for (const std::string& emt : sweep.config.emts) {
     EmtOperatingPoint op;
     op.emt = emt;
     // Deepest voltage such that SNR stays within tolerance at that point
@@ -58,32 +58,43 @@ PolicyResult explore_policy(const SweepResult& sweep, double threshold_db,
     result.points.push_back(op);
   }
 
-  // Derive the triggering ranges: each EMT covers from its floor up to the
-  // floor of the next-weaker technique (paper's three-range scheme).
-  const auto find_point = [&](core::EmtKind k) -> const EmtOperatingPoint* {
-    for (const auto& p : result.points) {
-      if (p.emt == k && p.feasible) return &p;
-    }
-    return nullptr;
-  };
-  const EmtOperatingPoint* none = find_point(core::EmtKind::kNone);
-  const EmtOperatingPoint* dream = find_point(core::EmtKind::kDream);
-  const EmtOperatingPoint* ecc = find_point(core::EmtKind::kEccSecDed);
+  // Derive the triggering ranges: each EMT covers from its floor up to
+  // the floor of the next-weaker technique. "Weaker" is defined by the
+  // data — shallower voltage floor (none → dream → ecc on the paper's
+  // grids) — so the ladder is independent of the order the sweep config
+  // happened to list the EMTs. When two techniques reach the same floor,
+  // the cheaper one at that floor owns the band (the policy minimizes
+  // protection overhead); the name is the last-resort determinism tie.
+  std::vector<const EmtOperatingPoint*> ladder;
+  for (const auto& p : result.points) {
+    if (p.feasible) ladder.push_back(&p);
+  }
+  std::sort(ladder.begin(), ladder.end(),
+            [](const EmtOperatingPoint* a, const EmtOperatingPoint* b) {
+              if (a->min_safe_voltage != b->min_safe_voltage) {
+                return a->min_safe_voltage > b->min_safe_voltage;
+              }
+              if (a->energy_at_floor_j != b->energy_at_floor_j) {
+                return a->energy_at_floor_j < b->energy_at_floor_j;
+              }
+              return a->emt < b->emt;
+            });
+  // Feasible "none" always heads the ladder: nominal operation needs no
+  // protection, so no codec may claim the top band above the unprotected
+  // floor — even one whose own floor sits higher (a technique feasible
+  // only near nominal must not be triggered where "none" suffices).
+  const auto none_it =
+      std::find_if(ladder.begin(), ladder.end(),
+                   [](const EmtOperatingPoint* p) { return p->emt == "none"; });
+  if (none_it != ladder.end()) {
+    std::rotate(ladder.begin(), none_it, none_it + 1);
+  }
 
   double upper = mem::VoltageWindow::kNominal + 1e-9;
-  if (none != nullptr) {
-    result.policy.add_range(none->min_safe_voltage, upper,
-                            core::EmtKind::kNone);
-    upper = none->min_safe_voltage;
-  }
-  if (dream != nullptr && dream->min_safe_voltage < upper) {
-    result.policy.add_range(dream->min_safe_voltage, upper,
-                            core::EmtKind::kDream);
-    upper = dream->min_safe_voltage;
-  }
-  if (ecc != nullptr && ecc->min_safe_voltage < upper) {
-    result.policy.add_range(ecc->min_safe_voltage, upper,
-                            core::EmtKind::kEccSecDed);
+  for (const EmtOperatingPoint* p : ladder) {
+    if (p->min_safe_voltage >= upper) continue;
+    result.policy.add_range(p->min_safe_voltage, upper, p->emt);
+    upper = p->min_safe_voltage;
   }
   return result;
 }

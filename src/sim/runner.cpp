@@ -60,16 +60,23 @@ RunResult ExperimentRunner::run_once(const apps::BioApp& app,
 
 RunResult ExperimentRunner::run_once(const apps::BioApp& app,
                                      const ecg::Record& record,
+                                     const std::string& emt_name,
+                                     const mem::FaultMap* faults, double v) {
+  const auto emt = core::make_emt(emt_name);
+  return run_once(app, record, *emt, faults, v);
+}
+
+RunResult ExperimentRunner::run_once(const apps::BioApp& app,
+                                     const ecg::Record& record,
                                      core::EmtKind kind,
                                      const mem::FaultMap* faults, double v) {
-  const auto emt = core::make_emt(kind);
-  return run_once(app, record, *emt, faults, v);
+  return run_once(app, record, core::emt_kind_name(kind), faults, v);
 }
 
 double ExperimentRunner::max_snr_db(const apps::BioApp& app,
                                     const ecg::Record& record) {
-  const RunResult clean = run_once(app, record, core::EmtKind::kNone,
-                                   /*faults=*/nullptr,
+  const core::NoProtection none;
+  const RunResult clean = run_once(app, record, none, /*faults=*/nullptr,
                                    mem::VoltageWindow::kNominal);
   return clean.snr_db;
 }

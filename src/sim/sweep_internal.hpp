@@ -32,6 +32,11 @@ using AccumGrid = std::vector<std::vector<CellAccum>>;
 /// Copy of `cfg` with empty voltage/EMT lists replaced by the defaults.
 [[nodiscard]] SweepConfig normalize_config(const SweepConfig& cfg);
 
+/// Materializes the config's EMT names through the registry, once per
+/// sweep (EMTs are stateless; sharing objects across runs is exact).
+[[nodiscard]] std::vector<std::unique_ptr<core::Emt>> make_emts(
+    const SweepConfig& cfg);
+
 /// Allocates the accumulator grid for a normalized config.
 [[nodiscard]] AccumGrid make_accum_grid(std::size_t apps,
                                         const SweepConfig& cfg);
@@ -41,12 +46,12 @@ using AccumGrid = std::vector<std::vector<CellAccum>>;
 /// stream depends only on (cfg.seed, vi), and only cells of this `vi` are
 /// written — callers may invoke this for distinct `vi` concurrently as
 /// long as each call gets its own `runner`.
-void accumulate_voltage_point(ExperimentRunner& runner,
-                              const std::vector<const apps::BioApp*>& app_list,
-                              const ecg::Record& record,
-                              const SweepConfig& cfg,
-                              const mem::BerModel& ber_model, std::size_t vi,
-                              AccumGrid& grid);
+void accumulate_voltage_point(
+    ExperimentRunner& runner,
+    const std::vector<const apps::BioApp*>& app_list,
+    const ecg::Record& record, const SweepConfig& cfg,
+    const std::vector<std::unique_ptr<core::Emt>>& emts,
+    const mem::BerModel& ber_model, std::size_t vi, AccumGrid& grid);
 
 /// Reduces a fully-populated grid to per-app SweepResults.
 [[nodiscard]] std::vector<SweepResult> finalize_sweep(

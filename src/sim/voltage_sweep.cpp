@@ -1,5 +1,6 @@
 #include "ulpdream/sim/voltage_sweep.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "sweep_internal.hpp"
@@ -12,7 +13,14 @@ namespace internal {
 SweepConfig normalize_config(const SweepConfig& cfg) {
   SweepConfig out = cfg;
   if (out.voltages.empty()) out.voltages = SweepConfig::defaults().voltages;
-  if (out.emts.empty()) out.emts = core::all_emt_kinds();
+  if (out.emts.empty()) out.emts = core::paper_emt_names();
+  return out;
+}
+
+std::vector<std::unique_ptr<core::Emt>> make_emts(const SweepConfig& cfg) {
+  std::vector<std::unique_ptr<core::Emt>> out;
+  out.reserve(cfg.emts.size());
+  for (const std::string& name : cfg.emts) out.push_back(core::make_emt(name));
   return out;
 }
 
@@ -24,16 +32,20 @@ AccumGrid make_accum_grid(std::size_t apps, const SweepConfig& cfg) {
   return grid;
 }
 
-void accumulate_voltage_point(ExperimentRunner& runner,
-                              const std::vector<const apps::BioApp*>& app_list,
-                              const ecg::Record& record,
-                              const SweepConfig& cfg,
-                              const mem::BerModel& ber_model, std::size_t vi,
-                              AccumGrid& grid) {
-  // Maps are generated at the widest payload (ECC's 22 bits) so the same
-  // cell fault locations apply to every EMT; narrower payloads simply
-  // never touch the high columns.
-  const int map_bits = core::EccSecDed::kPayloadBits;
+void accumulate_voltage_point(
+    ExperimentRunner& runner,
+    const std::vector<const apps::BioApp*>& app_list,
+    const ecg::Record& record, const SweepConfig& cfg,
+    const std::vector<std::unique_ptr<core::Emt>>& emts,
+    const mem::BerModel& ber_model, std::size_t vi, AccumGrid& grid) {
+  // Maps are generated at the sweep's widest payload so the same cell
+  // fault locations apply to every EMT (narrower payloads simply never
+  // touch the high columns) — at least ECC's 22 bits, so built-in sweeps
+  // keep their historical maps, and wider for user EMTs that need more.
+  int map_bits = core::EccSecDed::kPayloadBits;
+  for (const auto& emt : emts) {
+    map_bits = std::max(map_bits, emt->payload_bits());
+  }
 
   const double v = cfg.voltages[vi];
   const double ber = ber_model.ber(v);
@@ -44,7 +56,7 @@ void accumulate_voltage_point(ExperimentRunner& runner,
     for (std::size_t ai = 0; ai < app_list.size(); ++ai) {
       for (std::size_t ei = 0; ei < cfg.emts.size(); ++ei) {
         const RunResult r =
-            runner.run_once(*app_list[ai], record, cfg.emts[ei], &map, v);
+            runner.run_once(*app_list[ai], record, *emts[ei], &map, v);
         CellAccum& cell = grid[ai][vi * cfg.emts.size() + ei];
         cell.snr.add(r.snr_db);
         cell.snr_quantiles.add(r.snr_db);
@@ -77,7 +89,7 @@ std::vector<SweepResult> finalize_sweep(
       for (std::size_t ei = 0; ei < cfg.emts.size(); ++ei) {
         const CellAccum& cell = grid[ai][vi * cfg.emts.size() + ei];
         SweepPoint p;
-        p.app = app_list[ai]->kind();
+        p.app = app_list[ai]->name();
         p.emt = cfg.emts[ei];
         p.voltage = cfg.voltages[vi];
         p.ber = ber_model.ber(p.voltage);
@@ -111,11 +123,11 @@ SweepConfig SweepConfig::defaults() {
        v += mem::VoltageWindow::kStep) {
     cfg.voltages.push_back(v);
   }
-  cfg.emts = core::all_emt_kinds();
+  cfg.emts = core::paper_emt_names();
   return cfg;
 }
 
-const SweepPoint* SweepResult::find(core::EmtKind emt, double v) const {
+const SweepPoint* SweepResult::find(std::string_view emt, double v) const {
   for (const auto& p : points) {
     if (p.emt == emt && std::fabs(p.voltage - v) < 1e-6) return &p;
   }
@@ -128,10 +140,11 @@ std::vector<SweepResult> run_voltage_sweep_multi(
     const ecg::Record& record, const SweepConfig& base_cfg) {
   const SweepConfig cfg = internal::normalize_config(base_cfg);
   const auto ber_model = mem::make_ber_model(cfg.ber_model);
+  const auto emts = internal::make_emts(cfg);
 
   internal::AccumGrid grid = internal::make_accum_grid(app_list.size(), cfg);
   for (std::size_t vi = 0; vi < cfg.voltages.size(); ++vi) {
-    internal::accumulate_voltage_point(runner, app_list, record, cfg,
+    internal::accumulate_voltage_point(runner, app_list, record, cfg, emts,
                                        *ber_model, vi, grid);
   }
   return internal::finalize_sweep(runner, app_list, record, cfg, *ber_model,

@@ -17,8 +17,8 @@ namespace {
 /// pathology and noise level) x 2 repetitions.
 CampaignSpec tiny_spec() {
   CampaignSpec spec;
-  spec.apps = {apps::AppKind::kDwt, apps::AppKind::kMorphFilter};
-  spec.emts = core::all_emt_kinds();
+  spec.apps = {"dwt", "morph_filter"};
+  spec.emts = core::paper_emt_names();
   spec.voltages = {0.6, 0.8};
   spec.records = {RecordAxis{ecg::Pathology::kNormalSinus, 1.0, 7},
                   RecordAxis{ecg::Pathology::kAtrialFib, 1.25, 11}};
@@ -88,8 +88,8 @@ TEST(CampaignSpec, ShardsPartitionTheExpansion) {
 
 TEST(CampaignSpec, NormalizeFillsDefaults) {
   const CampaignSpec spec = CampaignSpec{}.normalized();
-  EXPECT_EQ(spec.apps, apps::all_app_kinds());
-  EXPECT_EQ(spec.emts, core::all_emt_kinds());
+  EXPECT_EQ(spec.apps, apps::paper_app_names());
+  EXPECT_EQ(spec.emts, core::paper_emt_names());
   EXPECT_EQ(spec.voltages.size(), 9u);
   EXPECT_EQ(spec.records.size(), 1u);
   EXPECT_GE(spec.repetitions, 1u);
@@ -106,9 +106,9 @@ TEST(CampaignSpec, VoltageRangeSnapsGridPoints) {
 TEST(CampaignSpec, ParsesAxisLists) {
   const auto apps = parse_app_list("dwt,cs");
   ASSERT_EQ(apps.size(), 2u);
-  EXPECT_EQ(apps[0], apps::AppKind::kDwt);
-  EXPECT_EQ(apps[1], apps::AppKind::kCompressedSensing);
-  EXPECT_EQ(parse_emt_list("paper"), core::all_emt_kinds());
+  EXPECT_EQ(apps[0], "dwt");
+  EXPECT_EQ(apps[1], "cs");
+  EXPECT_EQ(parse_emt_list("paper"), core::paper_emt_names());
   EXPECT_EQ(parse_pathology_list("afib").front(),
             ecg::Pathology::kAtrialFib);
   EXPECT_THROW((void)parse_app_list("fft"), std::invalid_argument);
@@ -133,8 +133,8 @@ TEST(CampaignEngine, BitIdenticalAcrossThreadCounts) {
 // reference cache scores one record against the other's golden reference.
 TEST(CampaignEngine, RecordsDifferingOnlyInNoiseKeepTheirOwnReferences) {
   CampaignSpec spec;
-  spec.apps = {apps::AppKind::kDwt};
-  spec.emts = {core::EmtKind::kNone};
+  spec.apps = {"dwt"};
+  spec.emts = {"none"};
   spec.voltages = {0.9};  // nominal: essentially error-free
   spec.records = {RecordAxis{ecg::Pathology::kNormalSinus, 1.0, 7},
                   RecordAxis{ecg::Pathology::kNormalSinus, 2.0, 7}};
@@ -299,7 +299,7 @@ TEST(ResultStore, JsonRoundTripIsLossless) {
 
 TEST(ResultStore, BridgesToThePolicyExplorer) {
   CampaignSpec spec = tiny_spec();
-  spec.apps = {apps::AppKind::kDwt};
+  spec.apps = {"dwt"};
   spec.voltages = {0.6, 0.7, 0.8, 0.9};  // policy needs the nominal point
   spec = spec.normalized();
   const CampaignEngine engine(energy::SystemEnergyModel(), 4);
@@ -308,8 +308,8 @@ TEST(ResultStore, BridgesToThePolicyExplorer) {
   const sim::SweepResult sweep = store.to_sweep_result(0, 0);
   EXPECT_EQ(sweep.points.size(), spec.voltages.size() * spec.emts.size());
   EXPECT_EQ(sweep.max_snr_db, store.max_snr_db(0, 0));
-  ASSERT_NE(sweep.find(core::EmtKind::kDream, 0.8), nullptr);
-  EXPECT_EQ(sweep.find(core::EmtKind::kDream, 0.8)->app, apps::AppKind::kDwt);
+  ASSERT_NE(sweep.find("dream", 0.8), nullptr);
+  EXPECT_EQ(sweep.find("dream", 0.8)->app, "dwt");
 
   const sim::PolicyResult policy = sim::explore_policy(sweep, 1.0);
   EXPECT_EQ(policy.points.size(), spec.emts.size());

@@ -18,49 +18,50 @@ TEST(NoProtection, IdentityCodec) {
 }
 
 TEST(Factory, ProducesAllKinds) {
-  for (const EmtKind kind : all_emt_kinds()) {
-    const auto emt = make_emt(kind);
+  for (const std::string& name : paper_emt_names()) {
+    const auto emt = make_emt(name);
     ASSERT_NE(emt, nullptr);
-    EXPECT_EQ(emt->kind(), kind);
-    EXPECT_EQ(emt->name(), emt_kind_name(kind));
+    EXPECT_EQ(emt->name(), name);
+  }
+  // The enum shims resolve through the same registry.
+  for (const EmtKind kind : all_emt_kinds()) {
+    EXPECT_EQ(make_emt(kind)->name(), emt_kind_name(kind));
   }
 }
 
 TEST(Factory, PaperExtraBitsTable) {
-  EXPECT_EQ(make_emt(EmtKind::kNone)->extra_bits(), 0);
-  EXPECT_EQ(make_emt(EmtKind::kDream)->extra_bits(), 5);
-  EXPECT_EQ(make_emt(EmtKind::kEccSecDed)->extra_bits(), 6);
+  EXPECT_EQ(make_emt("none")->extra_bits(), 0);
+  EXPECT_EQ(make_emt("dream")->extra_bits(), 5);
+  EXPECT_EQ(make_emt("ecc_secded")->extra_bits(), 6);
 }
 
 TEST(AdaptivePolicy, SelectsByRange) {
   const AdaptivePolicy policy = AdaptivePolicy::paper_dwt_policy();
-  EXPECT_EQ(policy.select(0.88), EmtKind::kNone);
-  EXPECT_EQ(policy.select(0.75), EmtKind::kDream);
-  EXPECT_EQ(policy.select(0.60), EmtKind::kEccSecDed);
+  EXPECT_EQ(policy.select(0.88), "none");
+  EXPECT_EQ(policy.select(0.75), "dream");
+  EXPECT_EQ(policy.select(0.60), "ecc_secded");
 }
 
 TEST(AdaptivePolicy, AboveAllRangesIsNone) {
   const AdaptivePolicy policy = AdaptivePolicy::paper_dwt_policy();
-  EXPECT_EQ(policy.select(1.0), EmtKind::kNone);
+  EXPECT_EQ(policy.select(1.0), "none");
 }
 
 TEST(AdaptivePolicy, BelowAllRangesUsesStrongest) {
   const AdaptivePolicy policy = AdaptivePolicy::paper_dwt_policy();
-  EXPECT_EQ(policy.select(0.50), EmtKind::kEccSecDed);
+  EXPECT_EQ(policy.select(0.50), "ecc_secded");
 }
 
 TEST(AdaptivePolicy, RejectsOverlapsAndEmptyRanges) {
   AdaptivePolicy policy;
-  policy.add_range(0.6, 0.8, EmtKind::kDream);
-  EXPECT_THROW(policy.add_range(0.7, 0.9, EmtKind::kNone),
-               std::invalid_argument);
-  EXPECT_THROW(policy.add_range(0.5, 0.5, EmtKind::kNone),
-               std::invalid_argument);
+  policy.add_range(0.6, 0.8, "dream");
+  EXPECT_THROW(policy.add_range(0.7, 0.9, "none"), std::invalid_argument);
+  EXPECT_THROW(policy.add_range(0.5, 0.5, "none"), std::invalid_argument);
 }
 
 TEST(AdaptivePolicy, EmptyPolicyDefaultsToNone) {
   const AdaptivePolicy policy;
-  EXPECT_EQ(policy.select(0.5), EmtKind::kNone);
+  EXPECT_EQ(policy.select(0.5), "none");
 }
 
 TEST(MemorySystem, SizesArraysForEmt) {

@@ -156,5 +156,88 @@ TEST_P(EccExhaustiveByteSweep, SingleErrorCorrectionExhaustive) {
 INSTANTIATE_TEST_SUITE_P(BytePlanes, EccExhaustiveByteSweep,
                          ::testing::Values(0, 31, 63, 127, 128, 192, 255));
 
+// ---------------------------------------------------------------------------
+// Reference (definition-level) decoder: the straight XOR-of-positions form
+// of extended-Hamming decoding, kept here to pin the table-driven
+// implementation (syndrome planes + 64-entry LUT + extraction tables)
+// against the textbook algorithm on *arbitrary* payloads, not just valid
+// codewords with few flips.
+
+struct ReferenceDecode {
+  fixed::Sample data = 0;
+  EccSecDed::Outcome outcome{};
+};
+
+ReferenceDecode reference_decode(std::uint32_t payload) {
+  constexpr int kOverallBit = 21;
+  const auto extract = [](std::uint32_t codeword) {
+    std::uint16_t data = 0;
+    int next = 0;
+    for (int pos = 1; pos <= EccSecDed::kHammingBits; ++pos) {
+      if (pos == 1 || pos == 2 || pos == 4 || pos == 8 || pos == 16) continue;
+      if ((codeword >> (pos - 1)) & 1u) {
+        data |= static_cast<std::uint16_t>(1u << next);
+      }
+      ++next;
+    }
+    return static_cast<fixed::Sample>(data);
+  };
+  int syndrome = 0;
+  for (int pos = 1; pos <= EccSecDed::kHammingBits; ++pos) {
+    if ((payload >> (pos - 1)) & 1u) syndrome ^= pos;
+  }
+  int overall = 0;
+  for (int bit = 0; bit <= kOverallBit; ++bit) {
+    overall ^= static_cast<int>((payload >> bit) & 1u);
+  }
+  ReferenceDecode out;
+  if (syndrome == 0 && overall == 0) {
+    out.outcome = EccSecDed::Outcome::kClean;
+    out.data = extract(payload);
+  } else if (overall != 0) {
+    if (syndrome >= 1 && syndrome <= EccSecDed::kHammingBits) {
+      out.outcome = EccSecDed::Outcome::kCorrected;
+      out.data = extract(payload ^ (1u << (syndrome - 1)));
+    } else if (syndrome == 0) {
+      out.outcome = EccSecDed::Outcome::kCorrected;
+      out.data = extract(payload);
+    } else {
+      out.outcome = EccSecDed::Outcome::kDetectedUncorrectable;
+      out.data = extract(payload);
+    }
+  } else {
+    out.outcome = EccSecDed::Outcome::kDetectedUncorrectable;
+    out.data = extract(payload);
+  }
+  return out;
+}
+
+TEST(EccSecDed, TableDrivenDecoderMatchesReferenceOnRandomPayloads) {
+  const EccSecDed ecc;
+  util::Xoshiro256 rng(20160314);
+  for (int i = 0; i < 200000; ++i) {
+    const auto payload = static_cast<std::uint32_t>(rng() & ((1u << 22) - 1u));
+    const ReferenceDecode ref = reference_decode(payload);
+    EccSecDed::Outcome outcome{};
+    const fixed::Sample decoded = ecc.decode_ex(payload, outcome);
+    ASSERT_EQ(decoded, ref.data) << "payload=" << payload;
+    ASSERT_EQ(outcome, ref.outcome) << "payload=" << payload;
+  }
+}
+
+TEST(EccSecDed, TableDrivenEncoderMatchesReferenceParityDefinition) {
+  const EccSecDed ecc;
+  // Every encoded word must be a valid codeword (clean decode round trip)
+  // and satisfy the parity-check definition: zero syndrome, even overall
+  // parity over all 22 bits.
+  for (int v = -32768; v <= 32767; v += 13) {
+    const auto s = static_cast<fixed::Sample>(v);
+    const std::uint32_t code = ecc.encode_payload(s);
+    const ReferenceDecode ref = reference_decode(code);
+    ASSERT_EQ(ref.outcome, EccSecDed::Outcome::kClean) << "v=" << v;
+    ASSERT_EQ(ref.data, s) << "v=" << v;
+  }
+}
+
 }  // namespace
 }  // namespace ulpdream::core

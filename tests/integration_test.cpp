@@ -35,9 +35,9 @@ TEST(Integration, ProtectionHelpsAtMidVoltages) {
   const sim::SweepResult res =
       sim::run_voltage_sweep(runner, app, record(), fast_cfg());
   for (const double v : {0.6, 0.65, 0.7}) {
-    const double none = res.find(core::EmtKind::kNone, v)->snr_mean_db;
-    const double dream = res.find(core::EmtKind::kDream, v)->snr_mean_db;
-    const double ecc = res.find(core::EmtKind::kEccSecDed, v)->snr_mean_db;
+    const double none = res.find("none", v)->snr_mean_db;
+    const double dream = res.find("dream", v)->snr_mean_db;
+    const double ecc = res.find("ecc_secded", v)->snr_mean_db;
     EXPECT_GT(dream, none + 3.0) << "v=" << v;
     EXPECT_GT(ecc, none + 3.0) << "v=" << v;
   }
@@ -53,14 +53,14 @@ TEST(Integration, EccWinsMidRangeDreamWinsDeep) {
   cfg.runs = 16;
   const sim::SweepResult res =
       sim::run_voltage_sweep(runner, app, record(), cfg);
-  const double dream_050 = res.find(core::EmtKind::kDream, 0.5)->snr_mean_db;
+  const double dream_050 = res.find("dream", 0.5)->snr_mean_db;
   const double ecc_050 =
-      res.find(core::EmtKind::kEccSecDed, 0.5)->snr_mean_db;
+      res.find("ecc_secded", 0.5)->snr_mean_db;
   EXPECT_GE(dream_050, ecc_050 - 1.0);
 
-  const double dream_065 = res.find(core::EmtKind::kDream, 0.65)->snr_mean_db;
+  const double dream_065 = res.find("dream", 0.65)->snr_mean_db;
   const double ecc_065 =
-      res.find(core::EmtKind::kEccSecDed, 0.65)->snr_mean_db;
+      res.find("ecc_secded", 0.65)->snr_mean_db;
   // Mid-range: ECC at least competitive (corrects any single-bit error,
   // DREAM only sign-run errors).
   EXPECT_GE(ecc_065, dream_065 - 3.0);
@@ -79,9 +79,9 @@ TEST(Integration, EnergyOverheadHeadline) {
   double sum_dream = 0.0;
   double sum_ecc = 0.0;
   for (const double v : cfg.voltages) {
-    sum_none += res.find(core::EmtKind::kNone, v)->energy_mean_j;
-    sum_dream += res.find(core::EmtKind::kDream, v)->energy_mean_j;
-    sum_ecc += res.find(core::EmtKind::kEccSecDed, v)->energy_mean_j;
+    sum_none += res.find("none", v)->energy_mean_j;
+    sum_dream += res.find("dream", v)->energy_mean_j;
+    sum_ecc += res.find("ecc_secded", v)->energy_mean_j;
   }
   const double dream_overhead = sum_dream / sum_none - 1.0;
   const double ecc_overhead = sum_ecc / sum_none - 1.0;
@@ -112,15 +112,15 @@ TEST(Integration, PolicySavingsOrdering) {
   double v_ecc = 1.0;
   for (const auto& p : policy.points) {
     if (!p.feasible) continue;
-    if (p.emt == core::EmtKind::kNone) {
+    if (p.emt == "none") {
       s_none = p.savings_vs_nominal_frac;
       v_none = p.min_safe_voltage;
     }
-    if (p.emt == core::EmtKind::kDream) {
+    if (p.emt == "dream") {
       s_dream = p.savings_vs_nominal_frac;
       v_dream = p.min_safe_voltage;
     }
-    if (p.emt == core::EmtKind::kEccSecDed) {
+    if (p.emt == "ecc_secded") {
       s_ecc = p.savings_vs_nominal_frac;
       v_ecc = p.min_safe_voltage;
     }
@@ -143,9 +143,9 @@ TEST(Integration, SameFaultMapFairness) {
   const mem::FaultMap map = mem::FaultMap::random(
       mem::MemoryGeometry::kWords16, 22, 1e-4, rng);
   const sim::RunResult a =
-      runner.run_once(app, record(), core::EmtKind::kNone, &map, 0.7);
+      runner.run_once(app, record(), "none", &map, 0.7);
   const sim::RunResult b =
-      runner.run_once(app, record(), core::EmtKind::kNone, &map, 0.7);
+      runner.run_once(app, record(), "none", &map, 0.7);
   EXPECT_DOUBLE_EQ(a.snr_db, b.snr_db);  // deterministic replay
 }
 
@@ -157,19 +157,10 @@ TEST(Integration, AdaptivePolicySelectsConfiguredEmt) {
   int dream_count = 0;
   int ecc_count = 0;
   for (double v = 0.9; v >= 0.55; v -= 0.01) {
-    switch (policy.select(v)) {
-      case core::EmtKind::kNone:
-        ++none_count;
-        break;
-      case core::EmtKind::kDream:
-        ++dream_count;
-        break;
-      case core::EmtKind::kEccSecDed:
-        ++ecc_count;
-        break;
-      case core::EmtKind::kDreamSecDed:
-        break;  // not part of the paper policy
-    }
+    const std::string& emt = policy.select(v);
+    if (emt == "none") ++none_count;
+    if (emt == "dream") ++dream_count;
+    if (emt == "ecc_secded") ++ecc_count;
   }
   EXPECT_GT(none_count, 0);
   EXPECT_GT(dream_count, 0);
@@ -184,10 +175,10 @@ TEST(Integration, AllAppsSurviveDeepVoltageWithDream) {
   util::Xoshiro256 rng(66);
   const mem::FaultMap map = mem::FaultMap::random(
       mem::MemoryGeometry::kWords16, 22, 2e-2, rng);
-  for (const apps::AppKind kind : apps::all_app_kinds()) {
-    const auto app = apps::make_app(kind);
+  for (const std::string& name : apps::paper_app_names()) {
+    const auto app = apps::make_app(name);
     const sim::RunResult r =
-        runner.run_once(*app, record(), core::EmtKind::kDream, &map, 0.5);
+        runner.run_once(*app, record(), "dream", &map, 0.5);
     EXPECT_TRUE(std::isfinite(r.snr_db)) << app->name();
     EXPECT_GT(r.energy.total_j(), 0.0) << app->name();
   }

@@ -21,7 +21,7 @@ SweepConfig tiny_sweep() {
   SweepConfig cfg;
   cfg.voltages = {0.5, 0.6, 0.7, 0.8, 0.9};
   cfg.runs = 6;
-  cfg.emts = core::all_emt_kinds();
+  cfg.emts = core::paper_emt_names();
   return cfg;
 }
 

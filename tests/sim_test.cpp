@@ -91,7 +91,7 @@ SweepConfig tiny_sweep() {
   SweepConfig cfg;
   cfg.voltages = {0.5, 0.7, 0.9};
   cfg.runs = 4;
-  cfg.emts = core::all_emt_kinds();
+  cfg.emts = core::paper_emt_names();
   return cfg;
 }
 
@@ -101,8 +101,8 @@ TEST(VoltageSweep, ProducesAllPoints) {
   const SweepResult res =
       run_voltage_sweep(runner, app, test_record(), tiny_sweep());
   EXPECT_EQ(res.points.size(), 3u * 3u);
-  EXPECT_NE(res.find(core::EmtKind::kDream, 0.7), nullptr);
-  EXPECT_EQ(res.find(core::EmtKind::kDream, 0.62), nullptr);
+  EXPECT_NE(res.find("dream", 0.7), nullptr);
+  EXPECT_EQ(res.find("dream", 0.62), nullptr);
 }
 
 TEST(VoltageSweep, SnrDegradesAsVoltageDrops) {
@@ -110,7 +110,7 @@ TEST(VoltageSweep, SnrDegradesAsVoltageDrops) {
   const apps::DwtApp app;
   const SweepResult res =
       run_voltage_sweep(runner, app, test_record(), tiny_sweep());
-  for (const core::EmtKind emt : core::all_emt_kinds()) {
+  for (const std::string& emt : core::paper_emt_names()) {
     const SweepPoint* hi = res.find(emt, 0.9);
     const SweepPoint* lo = res.find(emt, 0.5);
     ASSERT_NE(hi, nullptr);
@@ -124,7 +124,7 @@ TEST(VoltageSweep, NominalVoltageIsErrorFree) {
   const apps::DwtApp app;
   const SweepResult res =
       run_voltage_sweep(runner, app, test_record(), tiny_sweep());
-  const SweepPoint* p = res.find(core::EmtKind::kNone, 0.9);
+  const SweepPoint* p = res.find("none", 0.9);
   ASSERT_NE(p, nullptr);
   // BER(0.9) = 1e-9 on ~360k cells: fault-free with overwhelming
   // probability, so mean SNR equals the max-SNR dashed line.
@@ -137,10 +137,9 @@ TEST(VoltageSweep, EnergyOrderingNoneDreamEcc) {
   const SweepResult res =
       run_voltage_sweep(runner, app, test_record(), tiny_sweep());
   for (const double v : {0.5, 0.7, 0.9}) {
-    const double e_none = res.find(core::EmtKind::kNone, v)->energy_mean_j;
-    const double e_dream = res.find(core::EmtKind::kDream, v)->energy_mean_j;
-    const double e_ecc =
-        res.find(core::EmtKind::kEccSecDed, v)->energy_mean_j;
+    const double e_none = res.find("none", v)->energy_mean_j;
+    const double e_dream = res.find("dream", v)->energy_mean_j;
+    const double e_ecc = res.find("ecc_secded", v)->energy_mean_j;
     EXPECT_LT(e_none, e_dream);
     EXPECT_LT(e_dream, e_ecc);
   }
@@ -149,13 +148,13 @@ TEST(VoltageSweep, EnergyOrderingNoneDreamEcc) {
 TEST(VoltageSweep, MultiAppSharesConfig) {
   ExperimentRunner runner;
   const apps::DwtApp dwt;
-  const auto morph = apps::make_app(apps::AppKind::kMorphFilter);
+  const auto morph = apps::make_app("morph_filter");
   const std::vector<const apps::BioApp*> list = {&dwt, morph.get()};
   const auto results =
       run_voltage_sweep_multi(runner, list, test_record(), tiny_sweep());
   ASSERT_EQ(results.size(), 2u);
-  EXPECT_EQ(results[0].points.front().app, apps::AppKind::kDwt);
-  EXPECT_EQ(results[1].points.front().app, apps::AppKind::kMorphFilter);
+  EXPECT_EQ(results[0].points.front().app, "dwt");
+  EXPECT_EQ(results[1].points.front().app, "morph_filter");
 }
 
 TEST(PolicyExplorer, DerivesFeasiblePolicy) {
@@ -172,18 +171,18 @@ TEST(PolicyExplorer, DerivesFeasiblePolicy) {
   EXPECT_GT(relative.nominal_energy_j, 0.0);
   ASSERT_EQ(relative.points.size(), 3u);
   for (const auto& p : relative.points) {
-    EXPECT_TRUE(p.feasible) << emt_kind_name(p.emt);
+    EXPECT_TRUE(p.feasible) << p.emt;
     EXPECT_LE(p.min_safe_voltage, 0.9);
   }
-  const auto find = [](const PolicyResult& res, core::EmtKind k) {
+  const auto find = [](const PolicyResult& res, const std::string& k) {
     for (const auto& p : res.points) {
       if (p.emt == k) return p;
     }
     return EmtOperatingPoint{};
   };
   // Protected techniques reach at least as deep as no protection.
-  EXPECT_LE(find(relative, core::EmtKind::kDream).min_safe_voltage,
-            find(relative, core::EmtKind::kNone).min_safe_voltage);
+  EXPECT_LE(find(relative, "dream").min_safe_voltage,
+            find(relative, "none").min_safe_voltage);
 
   // Absolute clinical criterion (40 dB on the P10 reliability statistic):
   // protection must unlock deeper floors AND larger net savings despite
@@ -194,20 +193,18 @@ TEST(PolicyExplorer, DerivesFeasiblePolicy) {
   EXPECT_DOUBLE_EQ(absolute.required_snr_db, 40.0);
   // Protection unlocks deeper voltage floors than unprotected operation
   // (paper Sec. VI-C range structure), with positive net savings.
-  EXPECT_LT(find(absolute, core::EmtKind::kDream).min_safe_voltage,
-            find(absolute, core::EmtKind::kNone).min_safe_voltage);
-  EXPECT_LE(find(absolute, core::EmtKind::kEccSecDed).min_safe_voltage,
-            find(absolute, core::EmtKind::kDream).min_safe_voltage);
-  EXPECT_GT(find(absolute, core::EmtKind::kDream).savings_vs_nominal_frac,
-            0.0);
-  EXPECT_GT(find(absolute, core::EmtKind::kEccSecDed).savings_vs_nominal_frac,
-            0.0);
+  EXPECT_LT(find(absolute, "dream").min_safe_voltage,
+            find(absolute, "none").min_safe_voltage);
+  EXPECT_LE(find(absolute, "ecc_secded").min_safe_voltage,
+            find(absolute, "dream").min_safe_voltage);
+  EXPECT_GT(find(absolute, "dream").savings_vs_nominal_frac, 0.0);
+  EXPECT_GT(find(absolute, "ecc_secded").savings_vs_nominal_frac, 0.0);
 }
 
 TEST(PolicyExplorer, RequiresNominalPoint) {
   SweepResult empty;
   empty.config.voltages = {0.5};
-  empty.config.emts = core::all_emt_kinds();
+  empty.config.emts = core::paper_emt_names();
   EXPECT_THROW(explore_policy(empty, 1.0), std::invalid_argument);
 }
 
