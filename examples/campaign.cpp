@@ -1,35 +1,83 @@
 // Declarative experiment campaigns from the command line: describe a grid
-// (apps x EMTs x voltages x records x repetitions), execute it — whole or
-// one shard of a split — and export grouped aggregates as a table, CSV
-// and/or JSON. Results are bit-identical for any --threads value and any
-// --shard split (see tests/campaign_test.cpp).
+// (apps x EMTs x voltages x records x repetitions), execute it on the
+// async session runtime — whole, one shard of a split, or resuming an
+// interrupted run from a checkpoint — and export grouped aggregates as a
+// table, CSV and/or JSON. Results are bit-identical for any --threads
+// value, any --shard split and any checkpoint/resume split (see
+// tests/campaign_test.cpp and tests/session_test.cpp). Run with --help
+// for the full flag reference.
 //
-// Usage:
-//   campaign [--apps dwt,cs|paper|all] [--emts none,dream,ecc_secded|paper|all]
-//            [--vmin 0.5] [--vmax 0.9] [--step 0.05]
-//            [--pathologies normal_sinus,afib|all] [--noise 1]
-//            [--record-seed 7] [--reps 30] [--seed 2016]
-//            [--ber-model log-linear|probit] [--threads N] [--list]
-//            [--group record,app,emt,voltage]
-//            [--csv out.csv] [--json out.json]
-//   # sharded execution across processes:
+//   # whole grid, live progress:
+//   campaign --apps dwt,cs --reps 30 --threads 0 --progress --csv out.csv
+//
+//   # long grid with crash insurance: checkpoint the raw store every 10
+//   # items, and complete the missing items after an interruption:
+//   campaign <axes...> --checkpoint-every 10 --store-out run.store
+//   campaign <axes...> --resume run.store --store-out run.store --csv out.csv
+//
+//   # sharded execution across processes, then merge:
 //   campaign <axes...> --shard 0/3 --store-out shard0.store
 //   campaign <axes...> --shard 1/3 --store-out shard1.store
 //   campaign <axes...> --shard 2/3 --store-out shard2.store
 //   campaign <axes...> --merge-stores shard0.store,shard1.store,shard2.store
 //            --csv merged.csv
 
+#include <chrono>
+#include <cmath>
+#include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
+#include <thread>
 
-#include "ulpdream/campaign/engine.hpp"
+#include "ulpdream/campaign/session.hpp"
 #include "ulpdream/util/cli.hpp"
 #include "ulpdream/util/table.hpp"
 
 using namespace ulpdream;
 
 namespace {
+
+void print_help() {
+  std::cout <<
+      R"(campaign — declarative experiment grids on the async session runtime
+
+Grid axes:
+  --apps LIST          comma list of app names, or paper|all   [paper]
+  --emts LIST          comma list of EMT names, or paper|all   [paper]
+  --vmin V --vmax V --step V   inclusive voltage grid          [0.5..0.9/0.05]
+  --pathologies LIST   comma list of pathologies, or all       [normal_sinus]
+  --noise LIST         comma list of noise scales              [1]
+  --record-seed N      generator seed for every record axis    [7]
+  --reps N             Monte-Carlo fault maps per cell         [30]
+  --seed N             campaign RNG seed                       [2016]
+  --ber-model NAME     BER(V) model                            [log-linear]
+
+Execution (campaign::Session):
+  --threads N          pool workers; 0 = all hardware threads  [0]
+  --shard I/N          execute only this slice of the grid     [0/1]
+  --progress           live progress line (items/s, ETA) on stderr
+  --max-items N        cancel (item-granular) after ~N executed items
+  --checkpoint-every N write the raw store to --store-out after every N
+                       items (atomic tmp+rename), resumable with --resume
+  --resume PATH        adopt a previous run's raw store and execute only
+                       the missing items (grid fingerprint must match)
+
+Output:
+  --store-out PATH     save the raw store (resume/merge input)
+  --group LIST         aggregation axes: record,app,emt,voltage [all four]
+  --csv PATH           aggregates as CSV (exact doubles)
+  --json PATH          aggregates as JSON
+  --merge-stores LIST  merge saved raw stores instead of executing
+  --list               enumerate registered components and exit
+  --help               this text
+
+Determinism: item RNG streams are keyed on (seed, item index) alone, so
+any thread count, shard split, cancellation point or checkpoint/resume
+split reproduces the uninterrupted run bit-identically.
+)";
+}
 
 campaign::CampaignSpec spec_from_cli(const util::Cli& cli) {
   campaign::CampaignSpec spec;
@@ -117,6 +165,37 @@ campaign::GroupBy group_from_cli(const util::Cli& cli) {
   return group;
 }
 
+/// Crash-safe raw-store write: serialize to PATH.tmp, then rename over
+/// PATH, so an interruption mid-write never leaves a torn store — a file
+/// that exists is always a loadable checkpoint.
+void save_store_atomic(const campaign::ResultStore& store,
+                       const std::string& path) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream f(tmp);
+    store.save(f);
+    if (!f) throw std::runtime_error("failed to write " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    throw std::runtime_error("failed to rename " + tmp + " -> " + path);
+  }
+}
+
+void print_progress(const campaign::Progress& p) {
+  std::ostringstream line;
+  line << "[campaign] " << p.items_done << "/" << p.items_total << " items";
+  if (p.items_resumed != 0) line << " (" << p.items_resumed << " resumed)";
+  if (p.items_per_second > 0.0) {
+    line << ", " << util::fmt(p.items_per_second, 1) << " items/s";
+    const double eta_s =
+        static_cast<double>(p.items_remaining()) / p.items_per_second;
+    line << ", ETA " << util::fmt(eta_s, 0) << "s";
+  }
+  if (p.cancelled) line << " [cancelled]";
+  // One line, rewritten in place; callers newline-terminate at the end.
+  std::cerr << '\r' << line.str() << "          " << std::flush;
+}
+
 void export_aggregates(const util::Cli& cli, const campaign::ResultStore& store) {
   const auto rows = store.aggregate(group_from_cli(cli));
   campaign::rows_to_table(
@@ -142,13 +221,17 @@ void export_aggregates(const util::Cli& cli, const campaign::ResultStore& store)
 int main(int argc, char** argv) {
   try {
     const util::Cli cli(argc, argv);
+    if (cli.has("help")) {
+      print_help();
+      return 0;
+    }
     if (cli.has("list")) {
       print_registries();
       return 0;
     }
     const campaign::CampaignSpec spec = spec_from_cli(cli);
 
-    // Merge mode: reassemble shard stores instead of executing.
+    // Merge mode: reassemble shard/checkpoint stores instead of executing.
     if (const std::string list = cli.get("merge-stores", ""); !list.empty()) {
       campaign::ResultStore merged(spec);
       for (const std::string& path : util::split_list(list)) {
@@ -160,27 +243,86 @@ int main(int argc, char** argv) {
       return 0;
     }
 
-    const campaign::Shard shard = shard_from_cli(cli);
-    const campaign::CampaignEngine engine = campaign::CampaignEngine::from_cli(cli);
+    campaign::SubmitOptions options;
+    options.shard = shard_from_cli(cli);
+
+    // Resume: adopt a previous run's raw store (fingerprint-checked
+    // against this invocation's axes) and execute only the gaps.
+    campaign::ResultStore resume_store;
+    if (const std::string path = cli.get("resume", ""); !path.empty()) {
+      std::ifstream f(path);
+      if (!f) throw std::runtime_error("cannot open " + path);
+      resume_store = campaign::ResultStore::load(f, spec);
+      options.resume_from = &resume_store;
+      std::cerr << "[campaign] resuming from " << path << " ("
+                << resume_store.items_done() << " items already done)\n";
+    }
+
+    const std::string store_out = cli.get("store-out", "");
+    const auto checkpoint_every =
+        static_cast<std::size_t>(std::max<std::int64_t>(
+            0, cli.get_int("checkpoint-every", 0)));
+    if (checkpoint_every != 0) {
+      if (store_out.empty()) {
+        throw std::invalid_argument(
+            "--checkpoint-every requires --store-out PATH (the checkpoint "
+            "target)");
+      }
+      options.checkpoint_every = checkpoint_every;
+      options.on_checkpoint = [&store_out](const campaign::ResultStore& s) {
+        save_store_atomic(s, store_out);
+      };
+    }
+
+    campaign::Session session = campaign::Session::from_cli(cli);
     std::cerr << "[campaign] " << spec.records.size() << " records x "
               << spec.apps.size() << " apps x " << spec.emts.size()
               << " emts x " << spec.voltages.size() << " voltages x "
               << spec.repetitions << " reps = " << spec.item_count()
               << " items (" << spec.cell_count() << " cells), shard "
-              << shard.index << "/" << shard.count << " on up to "
-              << engine.threads() << " threads\n";
+              << options.shard.index << "/" << options.shard.count
+              << " on up to " << session.threads() << " threads\n";
 
-    const campaign::ResultStore store = engine.run(spec, shard);
+    const campaign::CampaignHandle handle = session.submit(spec, options);
 
-    if (const std::string path = cli.get("store-out", ""); !path.empty()) {
-      std::ofstream f(path);
-      store.save(f);
-      if (!f) throw std::runtime_error("failed to write " + path);
-      std::cerr << "[campaign] wrote raw store " << path << " ("
+    // Drive the handle: stream progress, honour --max-items via the
+    // cooperative cancel, and pick up the store when the job lands.
+    const auto max_items = static_cast<std::size_t>(
+        std::max<std::int64_t>(0, cli.get_int("max-items", 0)));
+    const bool show_progress = cli.has("progress");
+    campaign::ResultStore store;
+    if (!show_progress && max_items == 0) {
+      store = handle.take();
+    } else {
+      for (;;) {
+        const campaign::Progress p = handle.progress();
+        if (show_progress) print_progress(p);
+        if (max_items != 0 && !p.cancelled &&
+            p.items_done - p.items_resumed >= max_items) {
+          handle.cancel();
+        }
+        if (p.finished) break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      }
+      if (show_progress) {
+        print_progress(handle.progress());
+        std::cerr << '\n';
+      }
+      store = handle.take();
+    }
+
+    if (!store_out.empty()) {
+      save_store_atomic(store, store_out);
+      std::cerr << "[campaign] wrote raw store " << store_out << " ("
                 << store.items_done() << " items)\n";
     }
     if (store.complete()) {
       export_aggregates(cli, store);
+    } else if (handle.progress().cancelled) {
+      std::cerr << "[campaign] stopped after " << store.items_done()
+                << " items; complete the grid later with --resume "
+                << (store_out.empty() ? std::string("<store>") : store_out)
+                << '\n';
     } else {
       std::cerr << "[campaign] shard store incomplete by design; merge all "
                    "shards with --merge-stores to aggregate\n";

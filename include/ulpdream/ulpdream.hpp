@@ -28,10 +28,12 @@
 #include "ulpdream/ecg/database.hpp"
 #include "ulpdream/ecg/generator.hpp"
 
-// Experiment machinery: runner, sweeps, policy search, campaigns.
+// Experiment machinery: runner, sweeps, policy search, campaigns, and
+// the asynchronous execution runtime (Session / CampaignHandle).
 #include "ulpdream/campaign/engine.hpp"
 #include "ulpdream/campaign/result_store.hpp"
 #include "ulpdream/campaign/scenario.hpp"
+#include "ulpdream/campaign/session.hpp"
 #include "ulpdream/campaign/spec.hpp"
 #include "ulpdream/sim/policy_explorer.hpp"
 #include "ulpdream/sim/runner.hpp"
@@ -47,6 +49,13 @@ namespace ulpdream {
 using campaign::Scenario;
 using campaign::AggregateRow;
 using campaign::GroupBy;
+
+/// The asynchronous execution runtime: one shared pool, many campaigns,
+/// streaming progress, cancel, checkpoint/resume.
+using campaign::CampaignHandle;
+using campaign::Progress;
+using campaign::Session;
+using campaign::SubmitOptions;
 
 /// Registration metadata shared by all component registries.
 using util::Descriptor;

@@ -2,50 +2,11 @@
 
 #include <algorithm>
 #include <thread>
+#include <utility>
 
-#include "ulpdream/core/ecc_secded.hpp"
-#include "ulpdream/mem/fault_map.hpp"
-#include "ulpdream/mem/memory.hpp"
-#include "ulpdream/sim/runner.hpp"
-#include "ulpdream/util/parallel.hpp"
-#include "ulpdream/util/rng.hpp"
+#include "ulpdream/campaign/session.hpp"
 
 namespace ulpdream::campaign {
-
-namespace {
-
-/// Executes one work item: one fault map drawn from the item's private
-/// RNG stream at BER(V), reused across every (app, EMT) pair — the
-/// paper's Sec. V fairness protocol, now per grid item.
-void run_item(sim::ExperimentRunner& runner, const CampaignSpec& spec,
-              const std::vector<std::unique_ptr<apps::BioApp>>& app_objs,
-              const std::vector<std::unique_ptr<core::Emt>>& emt_objs,
-              const std::vector<ecg::Record>& records,
-              const mem::BerModel& ber_model, int map_bits,
-              const WorkItem& item, std::vector<Sample>& samples) {
-  const double v = spec.voltages[item.voltage_index];
-  const ecg::Record& record = records[item.record_index];
-
-  util::Xoshiro256 rng(item.seed);
-  const mem::FaultMap map = mem::FaultMap::random(
-      mem::MemoryGeometry::kWords16, map_bits, ber_model.ber(v), rng);
-
-  samples.clear();
-  for (const auto& app : app_objs) {
-    for (const auto& emt : emt_objs) {
-      const sim::RunResult r = runner.run_once(*app, record, *emt, &map, v);
-      Sample s;
-      s.snr_db = r.snr_db;
-      s.energy = r.energy;
-      s.corrected_words = static_cast<double>(r.counters.corrected_words);
-      s.detected_uncorrectable =
-          static_cast<double>(r.counters.detected_uncorrectable);
-      samples.push_back(s);
-    }
-  }
-}
-
-}  // namespace
 
 CampaignEngine::CampaignEngine(energy::SystemEnergyModel energy_model,
                                unsigned threads)
@@ -62,87 +23,14 @@ CampaignEngine CampaignEngine::from_cli(const util::Cli& cli,
   return CampaignEngine(energy_model, static_cast<unsigned>(threads));
 }
 
-ResultStore CampaignEngine::run(const CampaignSpec& base_spec,
-                                Shard shard) const {
-  const CampaignSpec spec = base_spec.normalized();
-  const std::vector<WorkItem> items =
-      expand_shard(spec, shard.index, shard.count);
-  const auto ber_model = mem::make_ber_model(spec.ber_model);
-
-  // Deterministic shared inputs, materialized once: the record corpus and
-  // the app objects (apps are stateless; records are read-only).
-  std::vector<ecg::Record> records;
-  records.reserve(spec.records.size());
-  for (const RecordAxis& axis : spec.records) {
-    ecg::GeneratorConfig gen;
-    gen.fs_hz = spec.fs_hz;
-    gen.duration_s = spec.duration_s;
-    gen.pathology = axis.pathology;
-    gen.seed = axis.seed;
-    gen.noise.baseline_wander_mv *= axis.noise_scale;
-    gen.noise.powerline_mv *= axis.noise_scale;
-    gen.noise.emg_std_mv *= axis.noise_scale;
-    records.push_back(ecg::generate_record(gen));
-    // The generator's name is <pathology>_s<seed>, which collides for
-    // axes differing only in noise level — and record names key the
-    // runner's reference cache, so a collision would score one record
-    // against another's golden reference. The axis label is unique.
-    records.back().name = axis.label();
-  }
-  // Components resolve by registry name once per campaign — a user EMT or
-  // app registered outside src/ runs here exactly like a built-in. EMTs
-  // and apps are stateless, so the pool shares them read-only.
-  std::vector<std::unique_ptr<apps::BioApp>> app_objs;
-  app_objs.reserve(spec.apps.size());
-  for (const std::string& name : spec.apps) {
-    app_objs.push_back(apps::make_app(name));
-  }
-  std::vector<std::unique_ptr<core::Emt>> emt_objs;
-  emt_objs.reserve(spec.emts.size());
-  for (const std::string& name : spec.emts) {
-    emt_objs.push_back(core::make_emt(name));
-  }
-
-  // Maps are generated at the campaign's widest payload so the same cell
-  // fault locations apply to every EMT (narrower payloads simply never
-  // touch the high columns) — at least ECC's 22 bits, so the built-in
-  // grids keep their historical maps, and wider when a registered EMT
-  // needs more columns.
-  int map_bits = core::EccSecDed::kPayloadBits;
-  for (const auto& emt : emt_objs) {
-    map_bits = std::max(map_bits, emt->payload_bits());
-  }
-
-  // Sparse shard store: slots for exactly this shard's items, so memory
-  // scales with the shard, and the concurrent record_item calls below hit
-  // preallocated slices behind a read-only index.
-  ResultStore store(spec, items);
-
-  // Clean-run SNR ceilings (Fig. 4 dashed lines): serial, cheap, and the
-  // same in every shard, so any shard's store can bridge to the policy
-  // explorer on its own.
-  {
-    sim::ExperimentRunner runner(energy_model_);
-    for (std::size_t ri = 0; ri < records.size(); ++ri) {
-      for (std::size_t ai = 0; ai < app_objs.size(); ++ai) {
-        store.set_max_snr(ri, ai, runner.max_snr_db(*app_objs[ai],
-                                                    records[ri]));
-      }
-    }
-  }
-
-  // Work-stealing over the shard's item list: each item owns a private
-  // RNG stream and a disjoint store slice.
-  util::parallel_for_index(items.size(), threads_, [&] {
-    return [&, runner = sim::ExperimentRunner(energy_model_),
-            samples = std::vector<Sample>()](std::size_t i) mutable {
-      run_item(runner, spec, app_objs, emt_objs, records, *ber_model,
-               map_bits, items[i], samples);
-      store.record_item(items[i], samples);
-    };
-  });
-
-  return store;
+ResultStore CampaignEngine::run(const CampaignSpec& spec, Shard shard) const {
+  // Synchronous shim over the async runtime: a private single-job
+  // session, submitted and waited on. The item execution and claim loop
+  // live in campaign::Session / util::WorkPool now.
+  Session session(energy_model_, threads_);
+  SubmitOptions options;
+  options.shard = shard;
+  return session.submit(spec, std::move(options)).take();
 }
 
 }  // namespace ulpdream::campaign

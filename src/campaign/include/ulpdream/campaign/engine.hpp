@@ -1,14 +1,15 @@
 #pragma once
-// Sharded execution of campaign grids. The engine expands a CampaignSpec,
-// takes the slice owned by the selected shard, and fans its work items
-// across a std::thread pool (the same work-stealing pattern as
-// sim::ParallelSweepRunner): items are claimed from an atomic counter,
-// each worker owns a private ExperimentRunner, and every item writes a
-// disjoint slice of the ResultStore, so the hot path is synchronisation-
-// free. Item RNG streams are derived purely from (spec.seed, item.index),
-// so the populated store is bit-identical for any thread count; running
-// the shards of any split and merging their stores reproduces the
-// unsharded store exactly.
+// Sharded blocking execution of campaign grids — a thin synchronous shim
+// over the asynchronous runtime (campaign/session.hpp): run() stands up
+// a private campaign::Session, submits the shard's slice and waits.
+// Execution semantics are the session's: work items fan across a shared
+// util::WorkPool, each worker owns a private ExperimentRunner, and every
+// item writes a disjoint slice of the ResultStore. Item RNG streams are
+// derived purely from (spec.seed, item.index), so the populated store is
+// bit-identical for any thread count; running the shards of any split
+// and merging their stores reproduces the unsharded store exactly. Use
+// Session directly to overlap campaigns, stream results, cancel, or
+// checkpoint/resume.
 
 #include <cstddef>
 

@@ -104,6 +104,9 @@ class ResultStore {
 
   [[nodiscard]] std::size_t items_done() const noexcept;
   [[nodiscard]] bool complete() const noexcept;
+  /// Whether the item at canonical index `item_index` has been recorded —
+  /// how a resumed submission decides which items still need to run.
+  [[nodiscard]] bool item_done(std::size_t item_index) const noexcept;
   /// Items this store holds slots for (executed or preallocated) — the
   /// quantity per-process memory scales with.
   [[nodiscard]] std::size_t stored_items() const noexcept {
@@ -111,7 +114,9 @@ class ResultStore {
   }
 
   /// Folds another shard of the *same* campaign into this store. Throws
-  /// std::invalid_argument on a spec fingerprint mismatch.
+  /// std::invalid_argument on a spec fingerprint mismatch (axes + seed),
+  /// quoting both fingerprints — stores of different grids never mix
+  /// silently.
   void merge(const ResultStore& other);
 
   /// Grouped aggregation in canonical axis order. Throws std::logic_error

@@ -21,6 +21,7 @@
 
 #include "ulpdream/campaign/engine.hpp"
 #include "ulpdream/campaign/result_store.hpp"
+#include "ulpdream/campaign/session.hpp"
 #include "ulpdream/campaign/spec.hpp"
 
 namespace ulpdream::campaign {
@@ -46,24 +47,37 @@ class Scenario {
 
   Scenario& repetitions(std::size_t n);
   Scenario& seed(std::uint64_t s);
-  /// Worker threads for run(); 0 = all hardware threads.
+  /// Worker threads for run(); 0 = all hardware threads. Ignored when a
+  /// session is attached (the session owns the pool).
   Scenario& threads(unsigned n);
+
+  /// Attaches a shared execution session: run()/submit() then execute on
+  /// its pool, interleaved with whatever else is submitted there. The
+  /// session must outlive the calls.
+  Scenario& session(Session& session);
 
   /// The normalized CampaignSpec this scenario describes. Unset axes take
   /// the paper defaults. Throws std::invalid_argument (listing the valid
   /// names) when a component name is not registered.
   [[nodiscard]] CampaignSpec build_spec() const;
 
-  /// Executes the scenario and returns the complete raw store.
+  /// Executes the scenario and returns the complete raw store — on the
+  /// attached session when one is set, otherwise on a private one.
   [[nodiscard]] ResultStore run() const;
 
   /// Executes and aggregates in one step (the common quickstart path).
   [[nodiscard]] std::vector<AggregateRow> run_rows(
       const GroupBy& group = GroupBy{}) const;
 
+  /// Asynchronous run(): submits onto the attached session and returns
+  /// the job handle immediately. Throws std::logic_error when no session
+  /// is attached.
+  [[nodiscard]] CampaignHandle submit(SubmitOptions options = {}) const;
+
  private:
   CampaignSpec spec_{};
   unsigned threads_ = 0;
+  Session* session_ = nullptr;
 };
 
 }  // namespace ulpdream::campaign

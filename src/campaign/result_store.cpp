@@ -118,9 +118,17 @@ bool ResultStore::complete() const noexcept {
   return items_done() == spec_.item_count();
 }
 
+bool ResultStore::item_done(std::size_t item_index) const noexcept {
+  const std::size_t slot = find_slot(item_index);
+  return slot != kNoSlot && item_done_[slot] != 0;
+}
+
 void ResultStore::merge(const ResultStore& other) {
   if (spec_.fingerprint() != other.spec_.fingerprint()) {
-    throw std::invalid_argument("ResultStore::merge: spec mismatch");
+    throw std::invalid_argument(
+        "ResultStore::merge: spec fingerprint mismatch — refusing to mix "
+        "results from different campaign grids\n  this:  " +
+        spec_.fingerprint() + "\n  other: " + other.spec_.fingerprint());
   }
   // Two-pointer merge of the sorted slot indices into fresh arrays: done
   // items already present here win, the other store fills the gaps.
@@ -325,9 +333,14 @@ ResultStore ResultStore::load(std::istream& is, const CampaignSpec& spec) {
   if (!std::getline(is, line) || line != "ulpdream-campaign-store v1") {
     fail("bad magic");
   }
-  if (!std::getline(is, line) ||
-      line != "fingerprint " + store.spec_.fingerprint()) {
-    fail("spec fingerprint mismatch");
+  if (!std::getline(is, line) || line.rfind("fingerprint ", 0) != 0) {
+    fail("missing fingerprint");
+  }
+  if (line.substr(12) != store.spec_.fingerprint()) {
+    fail(
+        "spec fingerprint mismatch — the stream was saved for a different "
+        "campaign grid\n  expected: " +
+        store.spec_.fingerprint() + "\n  stream:   " + line.substr(12));
   }
   if (!std::getline(is, line) || line.rfind("max_snr", 0) != 0) {
     fail("missing max_snr");

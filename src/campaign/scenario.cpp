@@ -1,6 +1,7 @@
 #include "ulpdream/campaign/scenario.hpp"
 
 #include <stdexcept>
+#include <utility>
 
 #include "ulpdream/apps/app.hpp"
 #include "ulpdream/core/factory.hpp"
@@ -62,6 +63,11 @@ Scenario& Scenario::threads(unsigned n) {
   return *this;
 }
 
+Scenario& Scenario::session(Session& session) {
+  session_ = &session;
+  return *this;
+}
+
 CampaignSpec Scenario::build_spec() const {
   const CampaignSpec spec = spec_.normalized();
   // Validate eagerly through descriptor() — its unknown-name error lists
@@ -78,8 +84,18 @@ CampaignSpec Scenario::build_spec() const {
 }
 
 ResultStore Scenario::run() const {
+  if (session_ != nullptr) return session_->submit(build_spec()).take();
   const CampaignEngine engine(energy::SystemEnergyModel(), threads_);
   return engine.run(build_spec());
+}
+
+CampaignHandle Scenario::submit(SubmitOptions options) const {
+  if (session_ == nullptr) {
+    throw std::logic_error(
+        "Scenario::submit: no session attached — call .session(s) first "
+        "(or use the blocking run())");
+  }
+  return session_->submit(build_spec(), std::move(options));
 }
 
 std::vector<AggregateRow> Scenario::run_rows(const GroupBy& group) const {

@@ -2,11 +2,16 @@
 // Multi-threaded Monte-Carlo voltage sweep. Every voltage point of the
 // sweep owns an independent, deterministically-seeded RNG stream
 // (util::mix64(cfg.seed, voltage_index)) and a disjoint slice of the
-// result grid, so voltage points can be fanned across a std::thread pool
-// with no synchronisation on the hot path. Results are bit-identical to
-// the serial run_voltage_sweep* loop for any thread count — the parallel
-// and serial drivers execute the same per-voltage routine in the same
+// result grid, so voltage points fan across a util::WorkPool with no
+// synchronisation on the hot path. Results are bit-identical to the
+// serial run_voltage_sweep* loop for any thread count — the parallel and
+// serial drivers execute the same per-voltage routine in the same
 // per-cell accumulation order.
+//
+// The blocking run()/run_multi() entry points are synchronous shims that
+// stand up a transient pool; the pool-taking overloads schedule the
+// sweep onto a shared pool instead — pass campaign::Session::pool() to
+// interleave sweeps with running campaigns on one runtime.
 //
 // Each worker thread runs its own ExperimentRunner (the runner's golden
 // reference cache is not thread-safe); references are recomputed per
@@ -17,6 +22,7 @@
 
 #include "ulpdream/sim/voltage_sweep.hpp"
 #include "ulpdream/util/cli.hpp"
+#include "ulpdream/util/work_pool.hpp"
 
 namespace ulpdream::sim {
 
@@ -36,13 +42,25 @@ class ParallelSweepRunner {
 
   /// Parallel equivalent of run_voltage_sweep_multi: shares fault maps
   /// across apps and EMTs per (voltage, run), fans voltage points across
-  /// the pool. Bit-identical to the serial loop for any thread count.
+  /// a transient pool of up to threads() workers. Bit-identical to the
+  /// serial loop for any thread count.
   [[nodiscard]] std::vector<SweepResult> run_multi(
       const std::vector<const apps::BioApp*>& app_list,
       const ecg::Record& record, const SweepConfig& cfg) const;
 
   /// Parallel equivalent of run_voltage_sweep (single app).
   [[nodiscard]] SweepResult run(const apps::BioApp& app,
+                                const ecg::Record& record,
+                                const SweepConfig& cfg) const;
+
+  /// Same sweep, scheduled onto a shared pool (e.g. a campaign
+  /// Session's): voltage points interleave with whatever else the pool
+  /// is running, results identical to the transient-pool overloads.
+  /// Blocks until the sweep's own points are done.
+  [[nodiscard]] std::vector<SweepResult> run_multi(
+      util::WorkPool& pool, const std::vector<const apps::BioApp*>& app_list,
+      const ecg::Record& record, const SweepConfig& cfg) const;
+  [[nodiscard]] SweepResult run(util::WorkPool& pool, const apps::BioApp& app,
                                 const ecg::Record& record,
                                 const SweepConfig& cfg) const;
 

@@ -23,29 +23,56 @@ ParallelSweepRunner ParallelSweepRunner::from_cli(
   return ParallelSweepRunner(energy_model, static_cast<unsigned>(threads));
 }
 
-std::vector<SweepResult> ParallelSweepRunner::run_multi(
+namespace {
+
+/// Shared sweep body: one per-voltage index job, executed by whatever
+/// loop the caller supplies (transient pool, shared pool, inline). Each
+/// voltage index owns an independent RNG stream and a disjoint slice of
+/// `grid`, so the loop's scheduling never affects results. EMT objects
+/// are stateless and shared read-only across workers.
+template <typename RunLoop>
+std::vector<SweepResult> sweep_with(
+    const energy::SystemEnergyModel& energy_model,
     const std::vector<const apps::BioApp*>& app_list,
-    const ecg::Record& record, const SweepConfig& base_cfg) const {
+    const ecg::Record& record, const SweepConfig& base_cfg,
+    RunLoop&& run_loop) {
   const SweepConfig cfg = internal::normalize_config(base_cfg);
   const auto ber_model = mem::make_ber_model(cfg.ber_model);
   const auto emts = internal::make_emts(cfg);
 
   internal::AccumGrid grid = internal::make_accum_grid(app_list.size(), cfg);
 
-  // Work-stealing over voltage indices: each index owns an independent
-  // RNG stream and a disjoint slice of `grid`. EMT objects are stateless
-  // and shared read-only across the pool.
-  util::parallel_for_index(cfg.voltages.size(), threads_, [&] {
-    return [&, runner = ExperimentRunner(energy_model_)](
+  run_loop(cfg.voltages.size(), [&] {
+    return [&, runner = ExperimentRunner(energy_model)](
                std::size_t vi) mutable {
       internal::accumulate_voltage_point(runner, app_list, record, cfg, emts,
                                          *ber_model, vi, grid);
     };
   });
 
-  ExperimentRunner finalize_runner(energy_model_);
+  ExperimentRunner finalize_runner(energy_model);
   return internal::finalize_sweep(finalize_runner, app_list, record, cfg,
                                   *ber_model, grid);
+}
+
+}  // namespace
+
+std::vector<SweepResult> ParallelSweepRunner::run_multi(
+    const std::vector<const apps::BioApp*>& app_list,
+    const ecg::Record& record, const SweepConfig& cfg) const {
+  return sweep_with(energy_model_, app_list, record, cfg,
+                    [this](std::size_t count, auto&& factory) {
+                      util::parallel_for_index(count, threads_, factory);
+                    });
+}
+
+std::vector<SweepResult> ParallelSweepRunner::run_multi(
+    util::WorkPool& pool, const std::vector<const apps::BioApp*>& app_list,
+    const ecg::Record& record, const SweepConfig& cfg) const {
+  return sweep_with(energy_model_, app_list, record, cfg,
+                    [&pool](std::size_t count, auto&& factory) {
+                      pool.run(count, factory);
+                    });
 }
 
 SweepResult ParallelSweepRunner::run(const apps::BioApp& app,
@@ -53,6 +80,14 @@ SweepResult ParallelSweepRunner::run(const apps::BioApp& app,
                                      const SweepConfig& cfg) const {
   const std::vector<const apps::BioApp*> one = {&app};
   return run_multi(one, record, cfg).front();
+}
+
+SweepResult ParallelSweepRunner::run(util::WorkPool& pool,
+                                     const apps::BioApp& app,
+                                     const ecg::Record& record,
+                                     const SweepConfig& cfg) const {
+  const std::vector<const apps::BioApp*> one = {&app};
+  return run_multi(pool, one, record, cfg).front();
 }
 
 }  // namespace ulpdream::sim

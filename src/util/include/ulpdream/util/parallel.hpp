@@ -1,63 +1,40 @@
 #pragma once
-// Shared work-stealing index loop for the sweep and campaign engines.
-// Fans indices [0, count) across a std::thread pool: each worker claims
-// indices from one atomic counter, which is the only synchronisation —
-// correct whenever every index writes disjoint state, the pattern both
-// engines are built on.
+// Blocking index-parallel convenience loop. Historically this owned the
+// work-stealing claim loop shared by the sweep and campaign engines; the
+// loop now lives in util::WorkPool (work_pool.hpp) — the long-lived,
+// multi-job pool behind campaign::Session — and parallel_for_index is a
+// thin wrapper that stands up a transient pool for one job. Correct
+// whenever every index writes disjoint state, the pattern both engines
+// are built on.
 
 #include <algorithm>
-#include <atomic>
 #include <cstddef>
-#include <exception>
-#include <mutex>
-#include <thread>
-#include <vector>
+#include <utility>
+
+#include "ulpdream/util/work_pool.hpp"
 
 namespace ulpdream::util {
 
 /// Runs a per-index function over [0, count) on up to `threads` workers.
-/// Each worker thread invokes `make_worker()` once to build its private
-/// per-worker state (e.g. an ExperimentRunner) and calls the returned
-/// callable with every index it claims; `make_worker` must therefore be
-/// safe to invoke concurrently. If a worker throws, the claim counter is
-/// parked past the end so the other workers stop at their next claim
-/// instead of draining the remaining indices, and the first exception is
-/// rethrown after the join. `threads` <= 1 (or count <= 1) runs entirely
-/// on the calling thread.
+/// Each participating worker invokes `make_worker()` once to build its
+/// private per-worker state (e.g. an ExperimentRunner) and calls the
+/// returned callable with every index it claims; `make_worker` must
+/// therefore be safe to invoke concurrently. The first exception a
+/// worker throws stops further claims and is rethrown here. `threads`
+/// <= 1 (or count <= 1) runs entirely on the calling thread.
 template <typename MakeWorker>
 void parallel_for_index(std::size_t count, unsigned threads,
                         MakeWorker&& make_worker) {
   const unsigned workers = static_cast<unsigned>(std::min<std::size_t>(
       std::max(1u, threads), std::max<std::size_t>(1, count)));
-
-  std::atomic<std::size_t> next{0};
-  std::mutex error_mutex;
-  std::exception_ptr first_error;
-
-  auto worker = [&]() {
-    auto fn = make_worker();
-    try {
-      for (;;) {
-        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-        if (i >= count) break;
-        fn(i);
-      }
-    } catch (...) {
-      next.store(count, std::memory_order_relaxed);
-      const std::lock_guard<std::mutex> lock(error_mutex);
-      if (!first_error) first_error = std::current_exception();
-    }
-  };
-
   if (workers <= 1) {
-    worker();
-  } else {
-    std::vector<std::thread> pool;
-    pool.reserve(workers);
-    for (unsigned t = 0; t < workers; ++t) pool.emplace_back(worker);
-    for (auto& t : pool) t.join();
+    auto fn = make_worker();
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
   }
-  if (first_error) std::rethrow_exception(first_error);
+  WorkPool pool(workers);
+  pool.run(count, WorkPool::WorkerFactory(std::forward<MakeWorker>(
+               make_worker)));
 }
 
 }  // namespace ulpdream::util

@@ -1,12 +1,17 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <cmath>
 #include <sstream>
+#include <thread>
 
 #include "ulpdream/util/cli.hpp"
+#include "ulpdream/util/parallel.hpp"
 #include "ulpdream/util/rng.hpp"
 #include "ulpdream/util/stats.hpp"
 #include "ulpdream/util/table.hpp"
+#include "ulpdream/util/work_pool.hpp"
 
 namespace ulpdream::util {
 namespace {
@@ -275,6 +280,120 @@ TEST(Cli, DefaultsWhenMissing) {
   EXPECT_EQ(cli.get("missing", "dflt"), "dflt");
   EXPECT_DOUBLE_EQ(cli.get_double("missing", 2.5), 2.5);
   EXPECT_FALSE(cli.get_bool("missing", false));
+}
+
+TEST(WorkPool, RunsEveryIndexExactlyOnceAcrossConcurrentJobs) {
+  WorkPool pool(4);
+  EXPECT_EQ(pool.threads(), 4u);
+
+  constexpr std::size_t kCount = 64;
+  std::vector<std::atomic<int>> hits_a(kCount);
+  std::vector<std::atomic<int>> hits_b(kCount);
+  auto job_a = pool.submit(kCount, [&] {
+    return [&](std::size_t i) { ++hits_a[i]; };
+  });
+  auto job_b = pool.submit(kCount, [&] {
+    return [&](std::size_t i) { ++hits_b[i]; };
+  });
+  job_b->wait();
+  job_a->wait();
+  EXPECT_TRUE(job_a->finished());
+  EXPECT_EQ(job_a->done(), kCount);
+  for (std::size_t i = 0; i < kCount; ++i) {
+    EXPECT_EQ(hits_a[i].load(), 1);
+    EXPECT_EQ(hits_b[i].load(), 1);
+  }
+  // Per-worker counts decompose the total.
+  std::size_t sum = 0;
+  for (std::size_t n : job_a->done_per_worker()) sum += n;
+  EXPECT_EQ(sum, kCount);
+}
+
+TEST(WorkPool, CancelDropsUnclaimedIndicesButDrainsInFlightOnes) {
+  WorkPool pool(2);
+  std::atomic<std::size_t> started{0};
+  std::atomic<std::size_t> completed{0};
+  auto job = pool.submit(1000, [&] {
+    return [&](std::size_t) {
+      ++started;
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      ++completed;
+    };
+  });
+  while (started.load() == 0) std::this_thread::yield();
+  job->cancel();
+  job->wait();
+  EXPECT_TRUE(job->cancelled());
+  EXPECT_TRUE(job->finished());
+  // Everything claimed before the cancel completed; nothing else ran.
+  EXPECT_EQ(job->done(), completed.load());
+  EXPECT_LT(job->done(), 1000u);
+}
+
+TEST(WorkPool, WaitRethrowsTheFirstWorkerError) {
+  WorkPool pool(3);
+  auto job = pool.submit(100, [&] {
+    return [&](std::size_t i) {
+      if (i == 7) throw std::runtime_error("boom at 7");
+    };
+  });
+  EXPECT_THROW(job->wait(), std::runtime_error);
+  EXPECT_TRUE(job->finished());
+  EXPECT_LT(job->done(), 100u);  // claims stop at the error
+}
+
+TEST(WorkPool, DeferredJobsRunOnlyAfterStart) {
+  WorkPool pool(2);
+  std::atomic<int> ran{0};
+  auto job = pool.submit_deferred(4, [&] {
+    return [&](std::size_t) { ++ran; };
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(ran.load(), 0);  // workers must not touch an unstarted job
+  EXPECT_FALSE(job->finished());
+  job->start();
+  job->wait();
+  EXPECT_EQ(ran.load(), 4);
+}
+
+TEST(WorkPool, EmptyJobFinishesImmediately) {
+  WorkPool pool(2);
+  auto job = pool.submit(0, [] { return [](std::size_t) {}; });
+  EXPECT_TRUE(job->finished());
+  job->wait();
+  EXPECT_EQ(job->done(), 0u);
+}
+
+TEST(WorkPool, HandlesStayValidAfterThePoolIsDestroyed) {
+  std::shared_ptr<WorkPool::Job> job;
+  {
+    WorkPool pool(2);
+    job = pool.submit(8, [] { return [](std::size_t) {}; });
+    // The pool's destructor drains whatever it accepted.
+  }
+  job->wait();
+  EXPECT_TRUE(job->finished());
+}
+
+TEST(WorkPool, ParallelForIndexWrapperMatchesInlineExecution) {
+  constexpr std::size_t kCount = 40;
+  for (const unsigned threads : {1u, 4u}) {
+    std::vector<std::atomic<int>> hits(kCount);
+    parallel_for_index(kCount, threads, [&] {
+      return [&](std::size_t i) { ++hits[i]; };
+    });
+    for (std::size_t i = 0; i < kCount; ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "threads=" << threads;
+    }
+  }
+  EXPECT_THROW(
+      parallel_for_index(4, 4,
+                         [] {
+                           return [](std::size_t) {
+                             throw std::runtime_error("fail");
+                           };
+                         }),
+      std::runtime_error);
 }
 
 }  // namespace
