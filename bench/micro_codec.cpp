@@ -30,8 +30,10 @@
 #include "ulpdream/ecg/database.hpp"
 #include "ulpdream/mem/ber_model.hpp"
 #include "ulpdream/mem/fault_map.hpp"
+#include "ulpdream/util/bench.hpp"
 #include "ulpdream/util/cli.hpp"
 #include "ulpdream/util/rng.hpp"
+#include "ulpdream/util/simd.hpp"
 
 #ifdef ULPDREAM_HAVE_GBENCH
 #include <benchmark/benchmark.h>
@@ -57,6 +59,8 @@ struct DatapathRow {
   double block_maccess_s = 0.0;
   double speedup = 0.0;
   bool identical = false;
+  std::uint64_t scalar_checksum = 0;  ///< per-pass decoded-output sum
+  std::uint64_t block_checksum = 0;   ///< must equal scalar_checksum
 };
 
 /// One full write+read sweep of `src` through `buf`, word at a time.
@@ -131,20 +135,32 @@ bool paths_identical(const core::Emt& emt, const mem::FaultMap& map,
 
 /// Median-free simple timing: repeats passes until `min_seconds` of work
 /// is accumulated and reports accesses (reads + writes) per second.
+/// `checksum` receives the (deterministic) per-pass output sum, and every
+/// timed pass's result goes through an optimization barrier so no part of
+/// the sweep can be dead-code-eliminated.
 template <typename Pass>
 double time_pass(Pass&& pass, std::size_t words, double min_seconds,
                  std::uint64_t& checksum) {
   using Clock = std::chrono::steady_clock;
-  // Warm-up pass (touches every page, fills caches).
+  // Warm-up pass (touches every page, fills caches) — its sum is the
+  // checksum the JSON reports; every timed pass must reproduce it.
   checksum = pass();
+  std::uint64_t mismatches = 0;
   std::uint64_t reps = 0;
   const Clock::time_point start = Clock::now();
   double elapsed = 0.0;
   do {
-    checksum ^= pass();
+    const std::uint64_t sum = pass();
+    util::do_not_optimize(sum);
+    mismatches += (sum != checksum);
     ++reps;
     elapsed = std::chrono::duration<double>(Clock::now() - start).count();
   } while (elapsed < min_seconds);
+  if (mismatches != 0) {
+    std::fprintf(stderr, "datapath: %llu non-deterministic passes\n",
+                 static_cast<unsigned long long>(mismatches));
+    checksum = 0;  // poison: the JSON consumer sees the divergence
+  }
   const double accesses =
       static_cast<double>(reps) * 2.0 * static_cast<double>(words);
   return accesses / elapsed;
@@ -160,13 +176,17 @@ void write_json(std::ostream& os, double volt, double ber, std::size_t words,
   os << "  \"voltage_v\": " << volt << ",\n";
   os << "  \"ber\": " << ber << ",\n";
   os << "  \"accesses_per_pass\": " << 2 * words << ",\n";
+  os << "  \"simd_tier\": \""
+     << util::simd::tier_name(util::simd::active_tier()) << "\",\n";
   os << "  \"results\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const DatapathRow& r = rows[i];
     os << "    {\"emt\": \"" << r.emt << "\", \"scalar_maccess_s\": "
        << r.scalar_maccess_s << ", \"block_maccess_s\": " << r.block_maccess_s
        << ", \"speedup\": " << r.speedup
-       << ", \"identical\": " << (r.identical ? "true" : "false") << "}"
+       << ", \"identical\": " << (r.identical ? "true" : "false")
+       << ", \"scalar_checksum\": " << r.scalar_checksum
+       << ", \"block_checksum\": " << r.block_checksum << "}"
        << (i + 1 < rows.size() ? "," : "") << "\n";
   }
   os << "  ]\n";
@@ -210,24 +230,27 @@ int run_datapath(const util::Cli& cli) {
     auto buf = core::ProtectedBuffer::allocate(system, words);
     fixed::SampleVec dst(words);
 
-    std::uint64_t scalar_sum = 0;
-    std::uint64_t block_sum = 0;
     row.scalar_maccess_s =
         time_pass([&] { return scalar_pass(buf, src); }, words, min_seconds,
-                  scalar_sum) /
+                  row.scalar_checksum) /
         1e6;
     row.block_maccess_s =
         time_pass([&] { return block_pass(buf, src, dst); }, words,
-                  min_seconds, block_sum) /
+                  min_seconds, row.block_checksum) /
         1e6;
     row.speedup = row.block_maccess_s / row.scalar_maccess_s;
+    // Both sweeps decode the same stored data, so the checksums must
+    // agree — a cheap second witness alongside paths_identical().
+    row.identical = row.identical && row.scalar_checksum == row.block_checksum;
+    all_identical = all_identical && row.identical;
     rows.push_back(row);
 
     std::fprintf(stderr,
                  "datapath %-12s scalar %8.2f Macc/s  block %8.2f Macc/s  "
-                 "speedup %.2fx  identical=%s\n",
+                 "speedup %.2fx  identical=%s  checksum=%llu\n",
                  row.emt.c_str(), row.scalar_maccess_s, row.block_maccess_s,
-                 row.speedup, row.identical ? "yes" : "NO");
+                 row.speedup, row.identical ? "yes" : "NO",
+                 static_cast<unsigned long long>(row.block_checksum));
   }
 
   const std::string json_path = cli.get("json", "");

@@ -165,20 +165,13 @@ campaign::GroupBy group_from_cli(const util::Cli& cli) {
   return group;
 }
 
-/// Crash-safe raw-store write: serialize to PATH.tmp, then rename over
-/// PATH, so an interruption mid-write never leaves a torn store — a file
-/// that exists is always a loadable checkpoint.
+/// Crash-safe raw-store write — ResultStore::save_atomic: a pid-unique
+/// staging file, fsync'd before the rename, so an interruption (or a
+/// second writer on the same path) never leaves a torn store — a file
+/// that exists is always a complete, loadable checkpoint.
 void save_store_atomic(const campaign::ResultStore& store,
                        const std::string& path) {
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream f(tmp);
-    store.save(f);
-    if (!f) throw std::runtime_error("failed to write " + tmp);
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    throw std::runtime_error("failed to rename " + tmp + " -> " + path);
-  }
+  store.save_atomic(path);
 }
 
 void print_progress(const campaign::Progress& p) {

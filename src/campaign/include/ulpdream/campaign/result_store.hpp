@@ -139,6 +139,15 @@ class ResultStore {
   [[nodiscard]] static ResultStore load(std::istream& is,
                                         const CampaignSpec& spec);
 
+  /// Crash-safe save to a file: serialize to a staging file whose name is
+  /// unique to this process (PATH.tmp.<pid> — concurrent writers aiming
+  /// at the same target never tear each other's staging bytes), flush it
+  /// to stable storage (POSIX fsync), then rename it over PATH. A file at
+  /// PATH is therefore always a complete, loadable checkpoint — never a
+  /// torn or merely page-cached one. Throws std::runtime_error on I/O
+  /// failure; the staging file is removed on every failure path.
+  void save_atomic(const std::string& path) const;
+
  private:
   static constexpr std::size_t kNoSlot = static_cast<std::size_t>(-1);
 

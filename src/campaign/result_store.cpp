@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cctype>
 #include <cmath>
+#include <cstdio>
+#include <fstream>
 #include <istream>
 #include <iterator>
 #include <limits>
@@ -10,6 +12,11 @@
 #include <sstream>
 #include <stdexcept>
 #include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#endif
 
 #include "ulpdream/util/stats.hpp"
 
@@ -323,6 +330,46 @@ void ResultStore::save(std::ostream& os) const {
   os << "end\n";
 }
 
+void ResultStore::save_atomic(const std::string& path) const {
+  // Stage under a pid-unique name: a second process checkpointing to the
+  // same path (shard misconfiguration, overlapping cron runs) overwrites
+  // its *own* staging file, not the bytes another writer is about to
+  // rename into place.
+  const std::string tmp =
+#if defined(__unix__) || defined(__APPLE__)
+      path + ".tmp." + std::to_string(::getpid());
+#else
+      path + ".tmp";
+#endif
+  {
+    std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
+    save(f);
+    f.flush();
+    if (!f) {
+      std::remove(tmp.c_str());
+      throw std::runtime_error("ResultStore::save_atomic: failed to write " +
+                               tmp);
+    }
+  }
+#if defined(__unix__) || defined(__APPLE__)
+  // Force the staged bytes to stable storage before the rename publishes
+  // the name: rename-then-crash must never expose a page-cache-only file.
+  const int fd = ::open(tmp.c_str(), O_WRONLY);
+  if (fd < 0 || ::fsync(fd) != 0) {
+    if (fd >= 0) ::close(fd);
+    std::remove(tmp.c_str());
+    throw std::runtime_error("ResultStore::save_atomic: failed to sync " +
+                             tmp);
+  }
+  ::close(fd);
+#endif
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("ResultStore::save_atomic: failed to rename " +
+                             tmp + " -> " + path);
+  }
+}
+
 ResultStore ResultStore::load(std::istream& is, const CampaignSpec& spec) {
   auto fail = [](const std::string& what) -> void {
     throw std::invalid_argument("ResultStore::load: " + what);
@@ -555,13 +602,21 @@ struct JsonParser {
     ++pos;  // closing quote
     return out;
   }
-  /// Number or null (the only non-string values this format uses);
-  /// null decodes as NaN.
+  /// Number, null, or a quoted non-finite token. JSON has no literal for
+  /// NaN or the infinities, so the writer encodes NaN as null and +/-Inf
+  /// as the strings "inf"/"-inf"; decode reverses both losslessly.
   double parse_number_or_null() {
     skip_ws();
     if (text.compare(pos, 4, "null") == 0) {
       pos += 4;
       return kNan;
+    }
+    if (pos < text.size() && text[pos] == '"') {
+      const std::string token = parse_string();
+      if (token == "inf") return std::numeric_limits<double>::infinity();
+      if (token == "-inf") return -std::numeric_limits<double>::infinity();
+      fail("expected number, null, \"inf\" or \"-inf\", got \"" + token +
+           "\"");
     }
     const std::size_t start = pos;
     while (pos < text.size() &&
@@ -582,6 +637,9 @@ void write_rows_json(std::ostream& os, const std::vector<AggregateRow>& rows) {
     os << '"' << key << "\":";
     if (std::isnan(v)) {
       os << "null";
+    } else if (std::isinf(v)) {
+      // Bare inf is not JSON; encode as a string the reader maps back.
+      os << (v > 0 ? "\"inf\"" : "\"-inf\"");
     } else {
       os << util::fmt_exact(v);
     }

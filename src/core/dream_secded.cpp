@@ -1,5 +1,7 @@
 #include "ulpdream/core/dream_secded.hpp"
 
+#include <algorithm>
+
 namespace ulpdream::core {
 
 fixed::Sample DreamSecDed::decode(std::uint32_t payload, std::uint16_t safe,
@@ -34,12 +36,12 @@ void DreamSecDed::encode_block(std::span<const fixed::Sample> in,
                                std::span<std::uint32_t> payload,
                                std::span<std::uint16_t> safe) const {
   check_block_spans(in.size(), payload.size(), safe.size());
-  // Member objects of concrete type: both codec calls dispatch statically.
-  for (std::size_t i = 0; i < in.size(); ++i) {
-    payload[i] = ecc_.encode_payload(in[i]);
+  // Each stage runs as a block kernel over its own output array.
+  if (!in.empty()) {
+    ecc_.encode_block_raw(in.data(), payload.data(), in.size());
   }
-  for (std::size_t i = 0; i < safe.size(); ++i) {
-    safe[i] = dream_.encode_safe(in[i]);
+  if (!safe.empty()) {
+    dream_.encode_safe_block(in.data(), safe.data(), safe.size());
   }
 }
 
@@ -48,10 +50,39 @@ void DreamSecDed::decode_block(std::span<const std::uint32_t> payload,
                                std::span<fixed::Sample> out,
                                CodecCounters* counters) const {
   check_block_spans(out.size(), payload.size(), safe.size());
-  // `final` devirtualizes the per-word decode; the two-stage pipeline and
-  // its counter semantics live in one place.
-  for (std::size_t i = 0; i < out.size(); ++i) {
-    out[i] = decode(payload[i], safe.empty() ? 0 : safe[i], counters);
+  // Chunked two-stage pipeline: the ECC kernel emits per-word outcomes and
+  // the extracted data, the DREAM force kernel then runs over that data
+  // in-place-adjacent, and the per-word flags are combined afterwards with
+  // the same rules as the scalar decode() above.
+  constexpr std::size_t kChunk = 1024;
+  fixed::Sample after_ecc[kChunk];
+  std::uint8_t ecc_outcome[kChunk];
+  std::uint8_t dream_corrected[kChunk];
+  constexpr auto kCorr =
+      static_cast<std::uint8_t>(EccSecDed::Outcome::kCorrected);
+  constexpr auto kDet =
+      static_cast<std::uint8_t>(EccSecDed::Outcome::kDetectedUncorrectable);
+  std::uint64_t corrected = 0;
+  std::uint64_t detected = 0;
+  const std::size_t n = out.size();
+  for (std::size_t base = 0; base < n; base += kChunk) {
+    const std::size_t len = std::min(kChunk, n - base);
+    ecc_.decode_block_raw(payload.data() + base, after_ecc, ecc_outcome, len);
+    dream_.force_block16(
+        reinterpret_cast<const std::uint16_t*>(after_ecc),
+        safe.empty() ? nullptr : safe.data() + base, out.data() + base,
+        dream_corrected, len);
+    if (counters != nullptr) {
+      for (std::size_t j = 0; j < len; ++j) {
+        corrected += (ecc_outcome[j] == kCorr || dream_corrected[j] != 0);
+        detected += (ecc_outcome[j] == kDet && dream_corrected[j] == 0);
+      }
+    }
+  }
+  if (counters != nullptr) {
+    counters->decodes += n;
+    counters->corrected_words += corrected;
+    counters->detected_uncorrectable += detected;
   }
 }
 

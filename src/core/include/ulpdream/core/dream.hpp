@@ -69,6 +69,26 @@ class Dream final : public Emt {
 
   [[nodiscard]] int mask_id_bits() const noexcept { return mask_id_bits_; }
 
+  // Raw block kernels behind encode_block()/decode_block(), dispatched on
+  // util::simd::active_tier() with the scalar word loop as tail and
+  // fallback. Exposed so the DREAM+ECC hybrid can pipeline them and the
+  // differential tests can drive every tier directly.
+
+  /// safe[i] = encode_safe(in[i]) for i < n.
+  void encode_safe_block(const fixed::Sample* in, std::uint16_t* safe,
+                         std::size_t n) const;
+  /// The Fig. 3 mask-force datapath over a block: out[i] is the decoded
+  /// sample, corrected[i] is 1 where forcing changed the stored bits.
+  /// `safe == nullptr` reads as all-zero side words (the empty-span
+  /// decode_block case). `payload` words are truncated to 16 bits.
+  void force_block(const std::uint32_t* payload, const std::uint16_t* safe,
+                   fixed::Sample* out, std::uint8_t* corrected,
+                   std::size_t n) const;
+  /// force_block() for data already narrowed to 16 bits.
+  void force_block16(const std::uint16_t* data, const std::uint16_t* safe,
+                     fixed::Sample* out, std::uint8_t* corrected,
+                     std::size_t n) const;
+
  private:
   /// Scalar mask-forcing core shared by decode() and decode_block().
   [[nodiscard]] std::uint16_t decode_word(std::uint16_t data,

@@ -10,6 +10,7 @@
 #include <array>
 
 #include "ulpdream/core/emt.hpp"
+#include "ulpdream/util/simd.hpp"
 
 namespace ulpdream::core {
 
@@ -55,9 +56,27 @@ class EccSecDed final : public Emt {
   [[nodiscard]] fixed::Sample decode_ex(std::uint32_t payload,
                                         Outcome& outcome) const;
 
+  // Raw block kernels behind encode_block()/decode_block(), dispatched on
+  // util::simd::active_tier() with the scalar word loop as tail and
+  // fallback (the SSE2 tier is the linearized scalar path — byte-table
+  // gathers need AVX2). Exposed for the DREAM+ECC hybrid's pipeline and
+  // the differential tests.
+  void encode_block_raw(const fixed::Sample* in, std::uint32_t* payload,
+                        std::size_t n) const;
+  /// outcome[i] = static_cast<uint8_t>(Outcome) per word.
+  void decode_block_raw(const std::uint32_t* payload, fixed::Sample* out,
+                        std::uint8_t* outcome, std::size_t n) const;
+
  private:
   [[nodiscard]] std::uint32_t compute_checked(std::uint32_t with_data) const;
   [[nodiscard]] fixed::Sample extract_data(std::uint32_t codeword) const;
+
+#if ULPDREAM_SIMD_X86
+  std::size_t encode_avx2(const fixed::Sample* in, std::uint32_t* payload,
+                          std::size_t n) const;
+  std::size_t decode_avx2(const std::uint32_t* payload, fixed::Sample* out,
+                          std::uint8_t* outcome, std::size_t n) const;
+#endif
 
   /// Syndrome resolution, precomputed once per codec: what to do for each
   /// (5-bit syndrome, overall parity) pair.
@@ -80,6 +99,32 @@ class EccSecDed final : public Emt {
   /// Data placement (inverse of extraction) per input byte.
   std::array<std::uint32_t, 256> place_lo_{};
   std::array<std::uint32_t, 256> place_hi_{};
+
+  // Linearized per-byte tables. The code is XOR-linear — every parity bit,
+  // the overall bit included, is an XOR of data bits — so a codeword is
+  // the XOR of per-byte codewords and a syndrome the XOR of per-byte
+  // syndromes. Encoding becomes two lookups + XOR and the syndrome three,
+  // replacing the five popcount planes of the constructor's reference
+  // path.
+  std::array<std::uint32_t, 256> enc_lo_{};  ///< codeword of data byte 0
+  std::array<std::uint32_t, 256> enc_hi_{};  ///< codeword of data byte 1
+  /// (syndrome | overall << 5) contribution of payload bits [0,8), [8,16)
+  /// and [16,22).
+  std::array<std::uint8_t, 256> synd_b0_{};
+  std::array<std::uint8_t, 256> synd_b1_{};
+  std::array<std::uint8_t, 64> synd_b2_{};
+
+#if ULPDREAM_SIMD_X86
+  // u32-widened table copies for the gathered AVX2 kernels: vpgatherdd
+  // reads 32 bits per lane, so u8/u16 tables cannot be gathered directly
+  // without overreading near their end.
+  std::array<std::uint32_t, 256> synd32_b0_{};
+  std::array<std::uint32_t, 256> synd32_b1_{};
+  std::array<std::uint32_t, 64> synd32_b2_{};
+  std::array<std::uint32_t, 64> action32_{};  ///< flip | outcome << 24
+  std::array<std::uint32_t, 1u << 11> extract32_lo_{};
+  std::array<std::uint32_t, 1u << 10> extract32_hi_{};
+#endif
 };
 
 }  // namespace ulpdream::core

@@ -73,6 +73,16 @@ class Emt {
       std::uint32_t payload, std::uint16_t safe,
       CodecCounters* counters = nullptr) const = 0;
 
+  /// True when this technique's data path is the identity on the raw
+  /// 16-bit sample: payload_bits() == 16 with encode_payload() a plain
+  /// zero-extension, safe_bits() == 0, and decode() returning the payload
+  /// unchanged with the decode count as its only counter effect. The
+  /// block data path (core::MemorySystem) then moves samples directly
+  /// between the caller's span and the data memory, skipping the 32-bit
+  /// staging copies; stored bits, stats and counters stay bit-identical
+  /// to the staged path. Only the baseline "none" technique qualifies.
+  [[nodiscard]] virtual bool raw_data_path() const { return false; }
+
   /// Per-operation codec energy in pJ (logic domain, voltage-invariant:
   /// the codec must stay at a safe supply to function). Part of the EMT
   /// interface so user-registered techniques carry their own energy model

@@ -26,6 +26,8 @@ class NoProtection final : public Emt {
     return static_cast<fixed::Sample>(static_cast<std::uint16_t>(payload));
   }
 
+  [[nodiscard]] bool raw_data_path() const override { return true; }
+
   void encode_block(std::span<const fixed::Sample> in,
                     std::span<std::uint32_t> payload,
                     std::span<std::uint16_t> safe) const override {

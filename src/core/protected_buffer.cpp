@@ -30,13 +30,23 @@ std::size_t MemorySystem::allocate(std::size_t words) {
 
 namespace {
 /// Window chunk for the block data path: big enough to amortize the
-/// per-chunk virtual dispatch, small enough to stay in L1 and on the
-/// stack.
-constexpr std::size_t kBlockChunk = 256;
+/// per-chunk virtual dispatch and the block accessors' O(banks) stat
+/// bookkeeping, small enough to stay in L1 and on the stack.
+constexpr std::size_t kBlockChunk = 1024;
 }  // namespace
 
 void MemorySystem::store_block(std::size_t addr,
                                std::span<const fixed::Sample> src) {
+  if (emt_->raw_data_path()) {
+    // Samples are the payload verbatim: scatter straight from the source
+    // span (int16_t reinterpreted as its unsigned twin — the same
+    // zero-extension encode_payload performs).
+    data_.write_block(
+        addr, std::span<const std::uint16_t>(
+                  reinterpret_cast<const std::uint16_t*>(src.data()),
+                  src.size()));
+    return;
+  }
   std::uint32_t payload[kBlockChunk];
   std::uint16_t safe_words[kBlockChunk];
   mem::SafeMemory* const safe = safe_ ? &*safe_ : nullptr;
@@ -57,6 +67,14 @@ void MemorySystem::store_block(std::size_t addr,
 
 void MemorySystem::load_block(std::size_t addr,
                               std::span<fixed::Sample> dst) {
+  if (emt_->raw_data_path()) {
+    data_.read_block(addr,
+                     std::span<std::uint16_t>(
+                         reinterpret_cast<std::uint16_t*>(dst.data()),
+                         dst.size()));
+    counters_.decodes += dst.size();
+    return;
+  }
   std::uint32_t payload[kBlockChunk];
   std::uint16_t safe_words[kBlockChunk];
   const mem::SafeMemory* const safe = safe_ ? &*safe_ : nullptr;

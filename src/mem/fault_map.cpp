@@ -47,8 +47,8 @@ const WordFaults& FaultMap::at(std::size_t word) const {
   return faults_[static_cast<std::size_t>(it - index_.begin())];
 }
 
-WordFaults& FaultMap::at(std::size_t word) {
-  if (word >= words_) throw std::out_of_range("FaultMap::at: word index");
+WordFaults& FaultMap::edit(std::size_t word) {
+  if (word >= words_) throw std::out_of_range("FaultMap::edit: word index");
   const auto it = std::lower_bound(index_.begin(), index_.end(),
                                    static_cast<std::uint32_t>(word));
   const auto slot = static_cast<std::size_t>(it - index_.begin());

@@ -67,10 +67,13 @@ class FaultMap {
   /// Reference lookup path: bounds-checked plain binary search over the
   /// sparse index (deliberately independent of the coarse accelerators so
   /// the two paths can be differentially tested). Clean words return a
-  /// shared all-zero WordFaults.
+  /// shared all-zero WordFaults. Never inserts — on a non-const map an
+  /// `at()` call is still a pure read, so the block read path cannot grow
+  /// the map behind the reader's back.
   [[nodiscard]] const WordFaults& at(std::size_t word) const;
-  /// Mutable access; inserts a (clean) entry for `word` on demand.
-  [[nodiscard]] WordFaults& at(std::size_t word);
+  /// Mutation path, kept separate from at() so read-only lookups can never
+  /// allocate: inserts a (clean) entry for `word` on demand.
+  [[nodiscard]] WordFaults& edit(std::size_t word);
 
   /// Hot-path lookup used by the memory read loop: coarse presence bitmap
   /// first (the overwhelmingly common clean-chunk case costs one bit
@@ -93,6 +96,20 @@ class FaultMap {
   /// Number of words holding at least one entry (faulty or inserted).
   [[nodiscard]] std::size_t entry_count() const noexcept {
     return index_.size();
+  }
+
+  /// True when the kChunkWords-word chunk holding `word`..`word+63` has no
+  /// entries — the block read path wide-copies such runs without per-word
+  /// lookups.
+  [[nodiscard]] bool chunk_clean(std::size_t chunk) const noexcept {
+    return (coarse_[chunk >> 6] & (std::uint64_t{1} << (chunk & 63))) == 0;
+  }
+
+  /// Raw presence bitmap (bit c = chunk c has entries; one padding word is
+  /// always appended). Exposed for the gathered SIMD read kernel, which
+  /// tests eight chunks' bits per iteration.
+  [[nodiscard]] const std::uint64_t* presence_data() const noexcept {
+    return coarse_.data();
   }
 
   /// Total number of stuck cells in the map.

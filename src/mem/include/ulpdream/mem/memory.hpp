@@ -70,6 +70,14 @@ class FaultyMemory {
   void write_block(std::size_t addr, std::span<const std::uint32_t> src);
   void read_block(std::size_t addr, std::span<std::uint32_t> dst) const;
 
+  /// 16-bit block transfers for EMTs whose payload is the raw sample word
+  /// (width_bits() <= 16): same semantics as the 32-bit overloads — writes
+  /// zero-extend, reads truncate after the width mask, which loses nothing
+  /// when the word fits in 16 bits — without a 32-bit staging buffer in
+  /// the caller. The 16-bit read throws std::logic_error on a wider word.
+  void write_block(std::size_t addr, std::span<const std::uint16_t> src);
+  void read_block(std::size_t addr, std::span<std::uint16_t> dst) const;
+
   /// Bits as physically stored (after stuck-at application), for tests.
   [[nodiscard]] std::uint32_t peek_physical(std::size_t addr) const;
 
@@ -79,6 +87,12 @@ class FaultyMemory {
   void reset_stats();
 
  private:
+  /// Shared bodies of the 32/16-bit block overloads (memory.cpp).
+  template <typename Word>
+  void write_block_impl(std::size_t addr, const Word* src, std::size_t n);
+  template <typename Word>
+  void read_block_impl(std::size_t addr, Word* dst, std::size_t n) const;
+
   [[nodiscard]] std::size_t physical(std::size_t logical) const;
   [[nodiscard]] int bank_of(std::size_t phys) const noexcept {
     return static_cast<int>(phys % static_cast<std::size_t>(banks_));

@@ -1,0 +1,24 @@
+#pragma once
+// Optimization barriers for self-timed benchmarks — a dependency-free
+// stand-in for benchmark::DoNotOptimize, used where google-benchmark may
+// not be available (micro_codec --datapath, CI perf smoke). A timing loop
+// whose result is never observed is dead code; routing each pass's output
+// through do_not_optimize() forces the compiler to materialize it without
+// adding measurable work.
+
+namespace ulpdream::util {
+
+/// Forces `value` to be computed: the empty asm claims to read it (and to
+/// clobber memory), so everything feeding it must actually execute.
+template <typename T>
+inline void do_not_optimize(const T& value) {
+#if defined(__GNUC__) || defined(__clang__)
+  asm volatile("" : : "r,m"(value) : "memory");
+#else
+  // Fallback: a volatile store is a visible side effect.
+  volatile T sink = value;
+  (void)sink;
+#endif
+}
+
+}  // namespace ulpdream::util

@@ -1,0 +1,58 @@
+#include "ulpdream/util/simd.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace ulpdream::util::simd {
+
+namespace {
+
+Tier detect_tier() {
+#if ULPDREAM_SIMD_X86
+  if (const char* env = std::getenv("ULPDREAM_DISABLE_SIMD");
+      env != nullptr && *env != '\0' && std::strcmp(env, "0") != 0) {
+    return Tier::kScalar;
+  }
+  if (__builtin_cpu_supports("avx2")) return Tier::kAvx2;
+#if defined(__x86_64__)
+  return Tier::kSse2;  // architectural baseline
+#else
+  return __builtin_cpu_supports("sse2") ? Tier::kSse2 : Tier::kScalar;
+#endif
+#else
+  return Tier::kScalar;
+#endif
+}
+
+/// -1 while unforced; otherwise the forced tier.
+std::atomic<int> g_forced{-1};
+
+}  // namespace
+
+const char* tier_name(Tier tier) noexcept {
+  switch (tier) {
+    case Tier::kSse2: return "sse2";
+    case Tier::kAvx2: return "avx2";
+    case Tier::kScalar: break;
+  }
+  return "scalar";
+}
+
+Tier active_tier() noexcept {
+  static const Tier detected = detect_tier();
+  const int forced = g_forced.load(std::memory_order_relaxed);
+  if (forced < 0) return detected;
+  const auto clamp = static_cast<Tier>(forced);
+  return clamp < detected ? clamp : detected;
+}
+
+void force_tier(Tier tier) noexcept {
+  g_forced.store(static_cast<int>(tier), std::memory_order_relaxed);
+}
+
+void clear_forced_tier() noexcept {
+  g_forced.store(-1, std::memory_order_relaxed);
+}
+
+}  // namespace ulpdream::util::simd

@@ -160,8 +160,8 @@ TEST(MatrixFilterApp, ErrorsAmplifyAcrossIterations) {
   // words). Stuck-at-0 guarantees corruption: baseline samples are
   // negative, so bit 12 is normally 1.
   const std::size_t addr = 32 * 32 + 100;
-  map.at(addr).mask = 1u << 12;
-  map.at(addr).value = 0;
+  map.edit(addr).mask = 1u << 12;
+  map.edit(addr).value = 0;
   auto dirty_sys = make_clean_system();
   dirty_sys.attach_faults(&map);
   const auto dirty = app.run(dirty_sys, test_record());

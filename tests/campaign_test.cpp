@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <sstream>
 #include <vector>
 
@@ -295,6 +296,67 @@ TEST(ResultStore, JsonRoundTripIsLossless) {
   std::stringstream ss;
   write_rows_json(ss, rows);
   expect_rows_identical(rows, read_rows_json(ss));
+}
+
+TEST(ResultStore, NonFiniteDoublesRoundTripThroughCsvAndJson) {
+  // A perfectly reconstructed window has +Inf SNR (zero error power) and a
+  // marginalized voltage is NaN, so non-finite values are reachable in real
+  // exports. They must survive write -> read in both machine formats: CSV
+  // carries the to_chars tokens (inf/-inf/nan) verbatim, while JSON — which
+  // has no non-finite literals — encodes NaN as null and the infinities as
+  // the quoted strings "inf"/"-inf".
+  const double inf = std::numeric_limits<double>::infinity();
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  AggregateRow row;
+  row.record = "nsr_7";
+  row.app = "dwt";
+  row.emt = "none";
+  row.voltage = nan;  // marginalized
+  row.n = 3;
+  row.snr_mean_db = inf;
+  row.snr_stddev_db = nan;
+  row.snr_min_db = -inf;
+  row.snr_max_db = inf;
+  row.snr_p10_db = inf;
+  row.energy_mean_j = 1.25e-6;
+  const std::vector<AggregateRow> rows = {row};
+
+  auto check = [&](const std::vector<AggregateRow>& back) {
+    ASSERT_EQ(back.size(), 1u);
+    EXPECT_TRUE(std::isnan(back[0].voltage));
+    EXPECT_EQ(back[0].n, 3u);
+    EXPECT_EQ(back[0].snr_mean_db, inf);
+    EXPECT_TRUE(std::isnan(back[0].snr_stddev_db));
+    EXPECT_EQ(back[0].snr_min_db, -inf);
+    EXPECT_EQ(back[0].snr_max_db, inf);
+    EXPECT_EQ(back[0].snr_p10_db, inf);
+    EXPECT_EQ(back[0].energy_mean_j, 1.25e-6);
+  };
+
+  std::stringstream csv;
+  write_rows_csv(csv, rows);
+  check(read_rows_csv(csv));
+
+  std::stringstream json;
+  write_rows_json(json, rows);
+  const std::string text = json.str();
+  // The document must be real JSON: every inf token is quoted, NaN is null.
+  for (std::size_t at = text.find("inf"); at != std::string::npos;
+       at = text.find("inf", at + 1)) {
+    const char before = text[at - 1];
+    EXPECT_TRUE(before == '"' || before == '-') << "bare inf at " << at;
+    if (before == '-') {
+      EXPECT_EQ(text[at - 2], '"') << "bare -inf at " << at;
+    }
+    EXPECT_EQ(text[at + 3], '"') << "unterminated inf token at " << at;
+  }
+  EXPECT_NE(text.find("\"voltage\":null"), std::string::npos);
+  check(read_rows_json(json));
+
+  // Unknown quoted tokens in a numeric field are rejected, not zeroed.
+  std::istringstream bogus(
+      R"({"rows":[{"record":"r","app":"a","emt":"e","voltage":"fast"}]})");
+  EXPECT_THROW((void)read_rows_json(bogus), std::invalid_argument);
 }
 
 TEST(ResultStore, BridgesToThePolicyExplorer) {

@@ -119,8 +119,8 @@ TEST(ProtectedBuffer, DreamSurvivesMsbFaultsEccDoesNot) {
   mem::FaultMap map(256, 22);
   // Words 0..: three stuck bits in the MSB region of the data field.
   for (std::size_t w = 0; w < 256; ++w) {
-    map.at(w).mask = (1u << 15) | (1u << 14) | (1u << 13);
-    map.at(w).value = (1u << 15) | (1u << 13);
+    map.edit(w).mask = (1u << 15) | (1u << 14) | (1u << 13);
+    map.edit(w).value = (1u << 15) | (1u << 13);
   }
 
   const auto dream = make_emt(EmtKind::kDream);
@@ -153,8 +153,8 @@ TEST(ProtectedBuffer, CodecCountersAccumulateInSystem) {
   mem::FaultMap map(64, 22);
   // Codeword bit 0 of encode(-1) is a parity bit that evaluates to 0;
   // stuck-at-1 guarantees an actual corruption for the counter to see.
-  map.at(0).mask = 0x1;
-  map.at(0).value = 0x1;
+  map.edit(0).mask = 0x1;
+  map.edit(0).value = 0x1;
   system.attach_faults(&map);
   auto buf = ProtectedBuffer::allocate(system, 4);
   buf.set(0, -1);

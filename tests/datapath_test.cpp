@@ -21,6 +21,7 @@
 #include "ulpdream/mem/fault_map.hpp"
 #include "ulpdream/mem/memory.hpp"
 #include "ulpdream/util/rng.hpp"
+#include "ulpdream/util/simd.hpp"
 
 namespace ulpdream {
 namespace {
@@ -168,12 +169,193 @@ INSTANTIATE_TEST_SUITE_P(
              (info.param.scrambler == 0 ? "_plain" : "_scrambled");
     });
 
+/// Every tier the build AND this CPU can run (active_tier() is already
+/// clamped by both), lowest first. kScalar is always present.
+std::vector<util::simd::Tier> runnable_tiers() {
+  std::vector<util::simd::Tier> tiers{util::simd::Tier::kScalar};
+  if (util::simd::active_tier() >= util::simd::Tier::kSse2) {
+    tiers.push_back(util::simd::Tier::kSse2);
+  }
+  if (util::simd::active_tier() >= util::simd::Tier::kAvx2) {
+    tiers.push_back(util::simd::Tier::kAvx2);
+  }
+  return tiers;
+}
+
+TEST(SimdTiers, BlockSweepBitIdenticalAcrossTiersOffsetsAndTails) {
+  // The SIMD kernels' full dispatch matrix: every compiled tier x EMT x
+  // scrambler setting x unaligned window base x window length around the
+  // vector widths (1..3x the 8/16-lane kernels, plus scalar-tail sizes).
+  // The word-at-a-time accessors are the tier-independent reference; every
+  // tier's block sweep must reproduce them bit-exactly — decoded samples,
+  // CodecCounters and per-bank AccessStats alike. 0.5 V gives a dense
+  // fault map, so the gather kernel's fault lanes run too.
+  constexpr std::size_t kBuf = 256;  // power of two: the gather-kernel path
+  const fixed::SampleVec src = test_samples(kBuf);
+  util::Xoshiro256 rng(13);
+  const mem::FaultMap map = mem::FaultMap::random(
+      kBuf, core::EccSecDed::kPayloadBits,
+      mem::LogLinearBerModel().ber(0.5), rng);
+  ASSERT_GT(map.entry_count(), 0u);
+
+  const std::vector<util::simd::Tier> tiers = runnable_tiers();
+  for (const core::EmtKind kind : core::extended_emt_kinds()) {
+    const auto emt = core::make_emt(kind);
+    for (const std::uint64_t scrambler :
+         {std::uint64_t{0}, std::uint64_t{0xC0FFEE}}) {
+      for (const std::size_t offset : {std::size_t{0}, std::size_t{1},
+                                       std::size_t{3}, std::size_t{7},
+                                       std::size_t{13}}) {
+        for (const std::size_t len :
+             {std::size_t{1}, std::size_t{2}, std::size_t{3}, std::size_t{7},
+              std::size_t{8}, std::size_t{9}, std::size_t{15},
+              std::size_t{16}, std::size_t{17}, std::size_t{31},
+              std::size_t{33}, std::size_t{48}}) {
+          ASSERT_LE(offset + len, kBuf);
+          SCOPED_TRACE(testing::Message()
+                       << core::emt_kind_name(kind) << " scrambler="
+                       << scrambler << " offset=" << offset
+                       << " len=" << len);
+
+          // Tier-independent reference: scalar word accessors.
+          core::MemorySystem ref_sys(*emt, kBuf);
+          ref_sys.attach_faults(&map);
+          ref_sys.set_scrambler(scrambler);
+          auto ref_buf = core::ProtectedBuffer::allocate(ref_sys, kBuf);
+          fixed::SampleVec ref_out(len);
+          for (std::size_t i = 0; i < len; ++i) {
+            ref_buf.set(offset + i, src[offset + i]);
+          }
+          for (std::size_t i = 0; i < len; ++i) {
+            ref_out[i] = ref_buf.get(offset + i);
+          }
+
+          for (const util::simd::Tier tier : tiers) {
+            SCOPED_TRACE(testing::Message()
+                         << "tier=" << util::simd::tier_name(tier));
+            util::simd::force_tier(tier);
+            core::MemorySystem sys(*emt, kBuf);
+            sys.attach_faults(&map);
+            sys.set_scrambler(scrambler);
+            auto buf = core::ProtectedBuffer::allocate(sys, kBuf);
+            fixed::SampleVec out(len);
+            buf.load(offset,
+                     std::span<const fixed::Sample>(src.data() + offset, len));
+            buf.store(offset, std::span<fixed::Sample>(out.data(), len));
+            util::simd::clear_forced_tier();
+
+            EXPECT_EQ(ref_out, out);
+            expect_counters_eq(ref_sys.counters(), sys.counters());
+            expect_stats_eq(ref_sys.data().stats(), sys.data().stats());
+            if (ref_sys.safe() != nullptr) {
+              expect_stats_eq(ref_sys.safe()->stats(), sys.safe()->stats());
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(SparseFaultMap, PresenceBitmapChunkBoundaries) {
+  // chunk_clean() drives the block read path's wide-copy-vs-lookup
+  // decision, so its chunk edges must be exact: words 0 and 63 share
+  // chunk 0, word 64 opens chunk 1, and a map whose word count is not a
+  // multiple of 64 ends in a partial chunk.
+  static_assert(mem::FaultMap::kChunkWords == 64);
+  constexpr std::size_t kMapWords = 130;  // chunks 0, 1 and partial 2
+  mem::FaultMap map(kMapWords, 16);
+  for (const std::size_t word : {std::size_t{0}, std::size_t{63},
+                                 std::size_t{64}, std::size_t{127},
+                                 std::size_t{129}}) {
+    map.edit(word) = {0x1, 0x1};
+  }
+  EXPECT_FALSE(map.chunk_clean(0));
+  EXPECT_FALSE(map.chunk_clean(1));
+  EXPECT_FALSE(map.chunk_clean(2));
+  // The bitmap view the gather kernel reads agrees bit-for-bit: one bit
+  // per chunk, chunks 0..2 dirty, nothing beyond.
+  EXPECT_EQ(map.presence_data()[0], 0b111u);
+
+  mem::FaultMap middle(kMapWords, 16);
+  middle.edit(64) = {0x2, 0x0};
+  middle.edit(127) = {0x2, 0x2};
+  EXPECT_TRUE(middle.chunk_clean(0));
+  EXPECT_FALSE(middle.chunk_clean(1));
+  EXPECT_TRUE(middle.chunk_clean(2));
+
+  // The unscrambled block read crosses every boundary: wide-copy runs for
+  // clean chunks, per-word lookups for dirty ones, same answer as the
+  // scalar accessor either way.
+  mem::FaultyMemory block_mem(kMapWords, 16, 2);
+  mem::FaultyMemory scalar_mem(kMapWords, 16, 2);
+  for (auto* m : {&block_mem, &scalar_mem}) m->attach_faults(&middle);
+  std::vector<std::uint32_t> pattern(kMapWords);
+  for (std::size_t i = 0; i < kMapWords; ++i) {
+    pattern[i] = static_cast<std::uint32_t>((i * 0x9E37u + 5) & 0xFFFFu);
+  }
+  block_mem.write_block(0, pattern);
+  std::vector<std::uint32_t> block_out(kMapWords);
+  block_mem.read_block(0, block_out);
+  std::vector<std::uint32_t> scalar_out(kMapWords);
+  for (std::size_t i = 0; i < kMapWords; ++i) {
+    scalar_mem.write(i, pattern[i]);
+    scalar_out[i] = scalar_mem.read(i);
+  }
+  EXPECT_EQ(block_out, scalar_out);
+}
+
+TEST(BlockMemory, SixteenBitOverloadsMatchTheWideOnes) {
+  // The staging-free raw-sample path: the u16 read/write_block overloads
+  // must agree with the u32 ones word-for-word (the word fits 16 bits, so
+  // truncation after the width mask is lossless), and the u16 read must
+  // refuse wider geometries instead of silently dropping bits.
+  constexpr std::size_t kMemWords = 128;
+  util::Xoshiro256 rng(21);
+  const mem::FaultMap map = mem::FaultMap::random(kMemWords, 16, 5e-3, rng);
+  for (const std::uint64_t scrambler :
+       {std::uint64_t{0}, std::uint64_t{0xC0FFEE}}) {
+    SCOPED_TRACE(testing::Message() << "scrambler=" << scrambler);
+    mem::FaultyMemory wide(kMemWords, 16);
+    mem::FaultyMemory narrow(kMemWords, 16);
+    for (auto* m : {&wide, &narrow}) {
+      m->attach_faults(&map);
+      m->set_scrambler(scrambler);
+    }
+    std::vector<std::uint32_t> src32(kMemWords);
+    std::vector<std::uint16_t> src16(kMemWords);
+    for (std::size_t i = 0; i < kMemWords; ++i) {
+      src16[i] = static_cast<std::uint16_t>(i * 40503u + 7);
+      src32[i] = src16[i];
+    }
+    wide.write_block(0, src32);
+    narrow.write_block(0, std::span<const std::uint16_t>(src16));
+
+    std::vector<std::uint32_t> out32(kMemWords);
+    std::vector<std::uint16_t> out16(kMemWords);
+    wide.read_block(0, out32);
+    narrow.read_block(0, std::span<std::uint16_t>(out16));
+    for (std::size_t i = 0; i < kMemWords; ++i) {
+      EXPECT_EQ(out32[i], static_cast<std::uint32_t>(out16[i])) << i;
+    }
+    expect_stats_eq(wide.stats(), narrow.stats());
+  }
+
+  mem::FaultyMemory too_wide(16, 22);
+  std::vector<std::uint16_t> buf(16);
+  EXPECT_THROW(too_wide.read_block(0, std::span<std::uint16_t>(buf)),
+               std::logic_error);
+  // Writes zero-extend, so any width accepts the narrow source.
+  EXPECT_NO_THROW(
+      too_wide.write_block(0, std::span<const std::uint16_t>(buf)));
+}
+
 TEST(BlockMemory, ReadWriteBlockMatchScalarAccessors) {
   mem::FaultyMemory scalar_mem(300, 22, 6);  // non-power-of-two geometry
   mem::FaultyMemory block_mem(300, 22, 6);
   mem::FaultMap map(300, 22);
-  map.at(7) = {0x3, 0x1};
-  map.at(131) = {1u << 21, 1u << 21};
+  map.edit(7) = {0x3, 0x1};
+  map.edit(131) = {1u << 21, 1u << 21};
   for (auto* m : {&scalar_mem, &block_mem}) {
     m->attach_faults(&map);
     m->set_scrambler(1234);
@@ -242,7 +424,7 @@ TEST(SparseFaultMap, MatchesDenseReferenceOnRandomMaps) {
     const auto bit = static_cast<int>(rng.bounded(kBits));
     const bool value = rng.bernoulli(0.5);
     const std::uint32_t bitmask = 1u << bit;
-    for (auto* wf : {&sparse.at(word), &dense[word]}) {
+    for (auto* wf : {&sparse.edit(word), &dense[word]}) {
       wf->mask |= bitmask;
       if (value) {
         wf->value |= bitmask;

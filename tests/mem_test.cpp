@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
+#include <thread>
+#include <vector>
 
 #include "ulpdream/mem/ber_model.hpp"
 #include "ulpdream/mem/fault_map.hpp"
@@ -103,11 +106,64 @@ TEST(FaultMap, StuckBitRejectsOutOfRange) {
 
 TEST(FaultMap, WordsWithAtLeastCountsMultiBit) {
   FaultMap map(4, 16);
-  map.at(0).mask = 0b11;
-  map.at(1).mask = 0b1;
+  map.edit(0).mask = 0b11;
+  map.edit(1).mask = 0b1;
   EXPECT_EQ(map.words_with_at_least(1), 2u);
   EXPECT_EQ(map.words_with_at_least(2), 1u);
   EXPECT_EQ(map.words_with_at_least(3), 0u);
+}
+
+TEST(FaultMap, ConcurrentReadersNeverGrowTheMap) {
+  // The const read path (lookup/chunk_clean) must be insertion-free: with
+  // the mutable accessor split off as edit(), concurrent block readers
+  // share one map with no synchronization. Hammer the full read surface
+  // from several threads — the same calls FaultyMemory::read_block makes —
+  // and pin that every reader sees the exact pre-snapshot answers and the
+  // map's shape is untouched afterwards. The const path touches only
+  // immutable state, so the sanitizer preset stays clean.
+  constexpr std::size_t kWords = 2048;
+  util::Xoshiro256 rng(2016);
+  const FaultMap map = FaultMap::random(kWords, 16, 1e-3, rng);
+  const std::size_t entries_before = map.entry_count();
+  const std::size_t faults_before = map.fault_count();
+  ASSERT_GT(entries_before, 0u);
+
+  // Serial snapshot of everything a reader can observe.
+  std::vector<WordFaults> reference(kWords);
+  for (std::size_t w = 0; w < kWords; ++w) {
+    if (const WordFaults* f = map.lookup(w)) reference[w] = *f;
+  }
+
+  constexpr int kThreads = 4;
+  std::atomic<int> mismatches{0};
+  {
+    std::vector<std::thread> readers;
+    readers.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      readers.emplace_back([&map, &reference, &mismatches, t] {
+        // Stride per thread so the access interleavings differ.
+        const std::size_t stride = 1 + static_cast<std::size_t>(t);
+        for (int rep = 0; rep < 50; ++rep) {
+          for (std::size_t w = 0; w < kWords; ++w) {
+            const std::size_t word = (w * stride) % kWords;
+            WordFaults seen;
+            if (const WordFaults* f = map.lookup(word)) seen = *f;
+            const bool clean =
+                map.chunk_clean(word / FaultMap::kChunkWords);
+            if (seen.mask != reference[word].mask ||
+                seen.value != reference[word].value ||
+                (clean && seen.mask != 0)) {
+              mismatches.fetch_add(1, std::memory_order_relaxed);
+            }
+          }
+        }
+      });
+    }
+    for (auto& th : readers) th.join();
+  }
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(map.entry_count(), entries_before);
+  EXPECT_EQ(map.fault_count(), faults_before);
 }
 
 TEST(FaultyMemory, CleanReadBackAfterWrite) {
@@ -178,8 +234,8 @@ TEST(FaultyMemory, ScramblerMovesFaultExposure) {
   // With scrambling, a fault pinned to physical word 0 hits a different
   // logical address than without scrambling.
   FaultMap map(64, 16);
-  map.at(0).mask = 0xFFFF;
-  map.at(0).value = 0xAAAA;
+  map.edit(0).mask = 0xFFFF;
+  map.edit(0).value = 0xAAAA;
 
   FaultyMemory plain(64, 16);
   plain.attach_faults(&map);

@@ -9,6 +9,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <filesystem>
+#include <fstream>
 #include <map>
 #include <sstream>
 #include <string>
@@ -172,6 +174,43 @@ TEST(Session, EveryCheckpointResumesToTheIdenticalStore) {
     // The resumed run executed only the missing items.
     EXPECT_EQ(handle.progress().items_resumed, at + 1);
   }
+}
+
+TEST(Session, SaveAtomicPublishesTheExactByteStreamAndCleansItsStaging) {
+  const CampaignSpec spec = small_spec(2016);
+  const CampaignEngine engine(energy::SystemEnergyModel(), 1);
+  const ResultStore store = engine.run(spec);
+  const std::string reference = save_bytes(store);
+
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "ulpdream_session_test";
+  std::filesystem::create_directories(dir);
+  const std::filesystem::path path = dir / "run.store";
+
+  // Fresh publish and an overwrite of an existing checkpoint both go
+  // through the staged rename.
+  for (int round = 0; round < 2; ++round) {
+    SCOPED_TRACE(testing::Message() << "round " << round);
+    store.save_atomic(path.string());
+    std::ifstream f(path, std::ios::binary);
+    std::stringstream bytes;
+    bytes << f.rdbuf();
+    EXPECT_EQ(bytes.str(), reference);
+    EXPECT_EQ(save_bytes(load_bytes(bytes.str(), spec)), reference);
+  }
+  // No staging file survives a successful publish (pid-suffixed or not).
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    EXPECT_EQ(entry.path().filename().string().find(".tmp"),
+              std::string::npos)
+        << entry.path();
+  }
+  // A failed publish (unwritable target directory) throws and leaves no
+  // partial file behind at the destination name.
+  const std::filesystem::path bad =
+      dir / "missing_subdir" / "run.store";
+  EXPECT_THROW(store.save_atomic(bad.string()), std::runtime_error);
+  EXPECT_FALSE(std::filesystem::exists(bad));
+  std::filesystem::remove_all(dir);
 }
 
 TEST(Session, ObserverStreamsEveryItemExactlyOnceWithItsExactSamples) {

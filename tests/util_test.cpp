@@ -3,6 +3,7 @@
 #include <atomic>
 #include <chrono>
 #include <cmath>
+#include <limits>
 #include <sstream>
 #include <thread>
 
@@ -259,6 +260,18 @@ TEST(FmtExact, RoundTripsDoublesBitExactly) {
   }
   EXPECT_THROW((void)parse_double_exact("12x"), std::invalid_argument);
   EXPECT_THROW((void)parse_double_exact(""), std::invalid_argument);
+}
+
+TEST(FmtExact, RoundTripsNonFiniteDoubles) {
+  // to_chars writes inf/-inf/nan and from_chars reads them back, so the
+  // exact text formats (raw store, CSV) carry non-finite values loss-free.
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(fmt_exact(inf), "inf");
+  EXPECT_EQ(fmt_exact(-inf), "-inf");
+  EXPECT_EQ(parse_double_exact("inf"), inf);
+  EXPECT_EQ(parse_double_exact("-inf"), -inf);
+  EXPECT_EQ(fmt_exact(std::numeric_limits<double>::quiet_NaN()), "nan");
+  EXPECT_TRUE(std::isnan(parse_double_exact("nan")));
 }
 
 TEST(Cli, ParsesKeyValueForms) {
