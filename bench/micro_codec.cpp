@@ -34,6 +34,7 @@
 #include "ulpdream/util/cli.hpp"
 #include "ulpdream/util/rng.hpp"
 #include "ulpdream/util/simd.hpp"
+#include "ulpdream/util/telemetry.hpp"
 
 #ifdef ULPDREAM_HAVE_GBENCH
 #include <benchmark/benchmark.h>
@@ -166,6 +167,28 @@ double time_pass(Pass&& pass, std::size_t words, double min_seconds,
   return accesses / elapsed;
 }
 
+/// The benchmark's own telemetry, embedded so BENCH_datapath.json is
+/// self-describing: per-EMT block-call latency histograms (recorded by
+/// the instrumented MemorySystem under hot_timing) plus the SIMD tier.
+void write_telemetry_block(std::ostream& os,
+                           const util::telemetry::MetricsSnapshot& m) {
+  os << "  \"telemetry\": {\n";
+  os << "    \"simd_tier\": \""
+     << util::simd::tier_name(util::simd::active_tier()) << "\",\n";
+  os << "    \"codec_block_ns\": {";
+  bool first = true;
+  for (const auto& [name, h] : m.histograms) {
+    // codec.<emt>.{encode,decode}_block_ns — sorted map, stable order.
+    if (name.rfind("codec.", 0) != 0 || h.count() == 0) continue;
+    os << (first ? "\n" : ",\n") << "      \"" << name
+       << "\": {\"count\": " << h.count() << ", \"mean\": " << h.mean()
+       << ", \"p50\": " << h.quantile(0.5) << ", \"p95\": " << h.quantile(0.95)
+       << ", \"p99\": " << h.quantile(0.99) << "}";
+    first = false;
+  }
+  os << (first ? "" : "\n    ") << "}\n  },\n";
+}
+
 void write_json(std::ostream& os, double volt, double ber, std::size_t words,
                 const std::vector<DatapathRow>& rows) {
   os << "{\n";
@@ -178,6 +201,7 @@ void write_json(std::ostream& os, double volt, double ber, std::size_t words,
   os << "  \"accesses_per_pass\": " << 2 * words << ",\n";
   os << "  \"simd_tier\": \""
      << util::simd::tier_name(util::simd::active_tier()) << "\",\n";
+  write_telemetry_block(os, util::telemetry::snapshot());
   os << "  \"results\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const DatapathRow& r = rows[i];
@@ -194,6 +218,11 @@ void write_json(std::ostream& os, double volt, double ber, std::size_t words,
 }
 
 int run_datapath(const util::Cli& cli) {
+  // The bench is a telemetry scraper: turn the gated block-latency
+  // histograms on and start from zero so the embedded JSON block
+  // describes exactly this run.
+  util::telemetry::set_hot_timing(true);
+  util::telemetry::reset_metrics();
   const double volt = cli.get_double("volt", 0.8);
   const double min_seconds = cli.get_double("min-time", 0.15);
   const std::size_t words = static_cast<std::size_t>(

@@ -33,7 +33,9 @@
 
 #include "ulpdream/campaign/session.hpp"
 #include "ulpdream/util/cli.hpp"
+#include "ulpdream/util/log.hpp"
 #include "ulpdream/util/table.hpp"
+#include "ulpdream/util/telemetry.hpp"
 
 using namespace ulpdream;
 
@@ -63,6 +65,17 @@ Execution (campaign::Session):
                        items (atomic tmp+rename), resumable with --resume
   --resume PATH        adopt a previous run's raw store and execute only
                        the missing items (grid fingerprint must match)
+
+Observability (util::telemetry; see README "Observability"):
+  --trace PATH         record spans on all workers and write Chrome
+                       trace-event JSON at exit (open in Perfetto);
+                       the ULPDREAM_TRACE=PATH env does the same
+  --metrics-out PATH   write the session's MetricsSnapshot JSON at exit
+                       (also enables the gated hot-path latency histograms)
+  --metrics-every N    log a one-line metrics summary to stderr every N
+                       seconds while running
+  --merge-metrics LIST merge saved metrics JSONs (counters add, histograms
+                       add bucket-wise) into --metrics-out, no execution
 
 Output:
   --store-out PATH     save the raw store (resume/merge input)
@@ -179,14 +192,60 @@ void print_progress(const campaign::Progress& p) {
   line << "[campaign] " << p.items_done << "/" << p.items_total << " items";
   if (p.items_resumed != 0) line << " (" << p.items_resumed << " resumed)";
   if (p.items_per_second > 0.0) {
-    line << ", " << util::fmt(p.items_per_second, 1) << " items/s";
-    const double eta_s =
-        static_cast<double>(p.items_remaining()) / p.items_per_second;
+    line << ", " << util::fmt(p.items_per_second_ewma, 1) << " items/s (avg "
+         << util::fmt(p.items_per_second, 1) << ")";
+    // The EWMA tracks the *current* rate — after a resume the lifetime
+    // average is dragged down by the pre-restart gap and its ETA lies.
+    const double eta_s = static_cast<double>(p.items_remaining()) /
+                         p.items_per_second_ewma;
     line << ", ETA " << util::fmt(eta_s, 0) << "s";
   }
   if (p.cancelled) line << " [cancelled]";
   // One line, rewritten in place; callers newline-terminate at the end.
   std::cerr << '\r' << line.str() << "          " << std::flush;
+}
+
+/// One-line metrics digest for --metrics-every, routed through the
+/// (thread-safe) logger so it interleaves cleanly with worker output.
+std::string metrics_line(const util::telemetry::MetricsSnapshot& m) {
+  const auto counter = [&m](const char* name) -> std::uint64_t {
+    const auto it = m.counters.find(name);
+    return it == m.counters.end() ? 0 : it->second;
+  };
+  std::ostringstream os;
+  os << "telemetry: items=" << counter("session.items_executed")
+     << " claims=" << counter("workpool.claims")
+     << " steals=" << counter("workpool.steals") << " busy_s="
+     << util::fmt(static_cast<double>(counter("workpool.busy_ns")) / 1e9, 1)
+     << " idle_s="
+     << util::fmt(static_cast<double>(counter("workpool.idle_ns")) / 1e9, 1);
+  if (const auto it = m.histograms.find("session.item_ns");
+      it != m.histograms.end() && it->second.count() != 0) {
+    os << " item_ms_p50=" << util::fmt(it->second.quantile(0.5) / 1e6, 1)
+       << " p95=" << util::fmt(it->second.quantile(0.95) / 1e6, 1);
+  }
+  if (const auto it = m.counters.find("mem.fault_patch_words");
+      it != m.counters.end()) {
+    os << " fault_patches=" << it->second;
+  }
+  return os.str();
+}
+
+void write_metrics_json(const util::telemetry::MetricsSnapshot& m,
+                        const std::string& path) {
+  std::ofstream f(path);
+  m.write_json(f);
+  if (!f) throw std::runtime_error("failed to write " + path);
+  std::cerr << "[campaign] wrote metrics " << path << '\n';
+}
+
+void write_trace_json(const std::string& path) {
+  util::telemetry::trace::stop();
+  std::ofstream f(path);
+  util::telemetry::trace::write_chrome_json(f);
+  if (!f) throw std::runtime_error("failed to write " + path);
+  std::cerr << "[campaign] wrote trace " << path << " ("
+            << util::telemetry::trace::event_count() << " events)\n";
 }
 
 void export_aggregates(const util::Cli& cli, const campaign::ResultStore& store) {
@@ -222,6 +281,25 @@ int main(int argc, char** argv) {
       print_registries();
       return 0;
     }
+    // Metrics-merge mode: fold saved snapshots (the distributed-mode
+    // shape: one metrics JSON per worker process) without executing.
+    if (const std::string list = cli.get("merge-metrics", "");
+        !list.empty()) {
+      util::telemetry::MetricsSnapshot merged;
+      for (const std::string& path : util::split_list(list)) {
+        std::ifstream f(path);
+        if (!f) throw std::runtime_error("cannot open " + path);
+        merged.merge(util::telemetry::MetricsSnapshot::read_json(f));
+      }
+      const std::string out = cli.get("metrics-out", "");
+      if (out.empty()) {
+        merged.write_json(std::cout);
+      } else {
+        write_metrics_json(merged, out);
+      }
+      return 0;
+    }
+
     const campaign::CampaignSpec spec = spec_from_cli(cli);
 
     // Merge mode: reassemble shard/checkpoint stores instead of executing.
@@ -267,6 +345,17 @@ int main(int argc, char** argv) {
       };
     }
 
+    // Telemetry activation, armed before the Session so its baseline and
+    // the trace epoch precede the first worker span.
+    const std::string trace_out = cli.get("trace", "");
+    const std::string metrics_out = cli.get("metrics-out", "");
+    const auto metrics_every_s = static_cast<std::size_t>(
+        std::max<std::int64_t>(0, cli.get_int("metrics-every", 0)));
+    if (!trace_out.empty()) util::telemetry::trace::start();
+    if (!metrics_out.empty() || metrics_every_s != 0) {
+      util::telemetry::set_hot_timing(true);
+    }
+
     campaign::Session session = campaign::Session::from_cli(cli);
     std::cerr << "[campaign] " << spec.records.size() << " records x "
               << spec.apps.size() << " apps x " << spec.emts.size()
@@ -284,12 +373,20 @@ int main(int argc, char** argv) {
         std::max<std::int64_t>(0, cli.get_int("max-items", 0)));
     const bool show_progress = cli.has("progress");
     campaign::ResultStore store;
-    if (!show_progress && max_items == 0) {
+    if (!show_progress && max_items == 0 && metrics_every_s == 0) {
       store = handle.take();
     } else {
+      auto next_metrics = std::chrono::steady_clock::now() +
+                          std::chrono::seconds(metrics_every_s);
       for (;;) {
         const campaign::Progress p = handle.progress();
         if (show_progress) print_progress(p);
+        if (metrics_every_s != 0 &&
+            std::chrono::steady_clock::now() >= next_metrics) {
+          if (show_progress) std::cerr << '\n';  // leave the \r line intact
+          util::log_info(metrics_line(session.telemetry()));
+          next_metrics += std::chrono::seconds(metrics_every_s);
+        }
         if (max_items != 0 && !p.cancelled &&
             p.items_done - p.items_resumed >= max_items) {
           handle.cancel();
@@ -309,6 +406,10 @@ int main(int argc, char** argv) {
       std::cerr << "[campaign] wrote raw store " << store_out << " ("
                 << store.items_done() << " items)\n";
     }
+    if (!metrics_out.empty()) {
+      write_metrics_json(session.telemetry(), metrics_out);
+    }
+    if (!trace_out.empty()) write_trace_json(trace_out);
     if (store.complete()) {
       export_aggregates(cli, store);
     } else if (handle.progress().cancelled) {

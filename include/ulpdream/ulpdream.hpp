@@ -42,6 +42,7 @@
 #include "ulpdream/energy/energy_model.hpp"
 #include "ulpdream/metrics/quality.hpp"
 #include "ulpdream/util/registry.hpp"
+#include "ulpdream/util/telemetry.hpp"
 
 namespace ulpdream {
 

@@ -36,6 +36,7 @@
 #include "ulpdream/campaign/spec.hpp"
 #include "ulpdream/energy/energy_model.hpp"
 #include "ulpdream/util/cli.hpp"
+#include "ulpdream/util/telemetry.hpp"
 #include "ulpdream/util/work_pool.hpp"
 
 namespace ulpdream::campaign {
@@ -55,6 +56,11 @@ struct Progress {
   /// Executed items per second of elapsed time (resumed items excluded);
   /// 0 until the first item lands.
   double items_per_second = 0.0;
+  /// Exponentially weighted recent rate (~5 s time constant) — the ETA
+  /// numerator that does not lie for minutes after a resume, where the
+  /// lifetime average is dragged by the pre-restart gap. Falls back to
+  /// items_per_second until the first smoothing window (0.5 s) closes.
+  double items_per_second_ewma = 0.0;
   /// Items executed by each pool worker — the per-worker throughput view.
   std::vector<std::size_t> per_worker_items;
   bool cancelled = false;
@@ -158,8 +164,19 @@ class Session {
     return energy_model_;
   }
 
+  /// Metrics accrued since this Session was constructed: the process
+  /// registry's snapshot() diffed against a baseline taken in the
+  /// constructor (counters/histograms subtract; gauges report current
+  /// state). Catalog: session.* (items, run latencies, checkpoints),
+  /// workpool.* (claims, steals, busy/idle), codec.<emt>.*, mem.*,
+  /// store.* — see README "Observability".
+  [[nodiscard]] util::telemetry::MetricsSnapshot telemetry() const {
+    return util::telemetry::snapshot().since(baseline_);
+  }
+
  private:
   energy::SystemEnergyModel energy_model_;
+  util::telemetry::MetricsSnapshot baseline_;
   util::WorkPool pool_;
 };
 

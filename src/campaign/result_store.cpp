@@ -19,6 +19,7 @@
 #endif
 
 #include "ulpdream/util/stats.hpp"
+#include "ulpdream/util/telemetry.hpp"
 
 namespace ulpdream::campaign {
 
@@ -131,6 +132,10 @@ bool ResultStore::item_done(std::size_t item_index) const noexcept {
 }
 
 void ResultStore::merge(const ResultStore& other) {
+  ULPDREAM_TRACE_SPAN("store.merge");
+  static const util::telemetry::Counter merges("store.merges");
+  static const util::telemetry::Histogram merge_ns("store.merge_ns");
+  const std::uint64_t t0 = util::telemetry::now_ns();
   if (spec_.fingerprint() != other.spec_.fingerprint()) {
     throw std::invalid_argument(
         "ResultStore::merge: spec fingerprint mismatch — refusing to mix "
@@ -175,6 +180,8 @@ void ResultStore::merge(const ResultStore& other) {
   for (std::size_t i = 0; i < max_snr_.size(); ++i) {
     if (std::isnan(max_snr_[i])) max_snr_[i] = other.max_snr_[i];
   }
+  merge_ns.record(util::telemetry::now_ns() - t0);
+  merges.add();
 }
 
 std::vector<AggregateRow> ResultStore::aggregate(const GroupBy& group) const {
@@ -305,6 +312,12 @@ sim::SweepResult ResultStore::to_sweep_result(std::size_t record_index,
 }
 
 void ResultStore::save(std::ostream& os) const {
+  ULPDREAM_TRACE_SPAN("store.save");
+  static const util::telemetry::Counter saves("store.saves");
+  static const util::telemetry::Counter save_bytes("store.save_bytes");
+  static const util::telemetry::Histogram save_ns("store.save_ns");
+  const std::uint64_t t0 = util::telemetry::now_ns();
+  const std::streampos pos0 = os.tellp();
   os << "ulpdream-campaign-store v1\n";
   os << "fingerprint " << spec_.fingerprint() << '\n';
   os << "max_snr";
@@ -328,9 +341,18 @@ void ResultStore::save(std::ostream& os) const {
     os << '\n';
   }
   os << "end\n";
+  save_ns.record(util::telemetry::now_ns() - t0);
+  saves.add();
+  // Seekable sinks (files) report size; pipes return -1 and skip the byte
+  // count rather than poison it.
+  const std::streampos pos1 = os.tellp();
+  if (pos0 >= 0 && pos1 >= 0) {
+    save_bytes.add(static_cast<std::uint64_t>(pos1 - pos0));
+  }
 }
 
 void ResultStore::save_atomic(const std::string& path) const {
+  ULPDREAM_TRACE_SPAN("store.save_atomic");
   // Stage under a pid-unique name: a second process checkpointing to the
   // same path (shard misconfiguration, overlapping cron runs) overwrites
   // its *own* staging file, not the bytes another writer is about to
@@ -371,6 +393,10 @@ void ResultStore::save_atomic(const std::string& path) const {
 }
 
 ResultStore ResultStore::load(std::istream& is, const CampaignSpec& spec) {
+  ULPDREAM_TRACE_SPAN("store.load");
+  static const util::telemetry::Counter loads("store.loads");
+  static const util::telemetry::Histogram load_ns("store.load_ns");
+  const std::uint64_t t0 = util::telemetry::now_ns();
   auto fail = [](const std::string& what) -> void {
     throw std::invalid_argument("ResultStore::load: " + what);
   };
@@ -402,7 +428,11 @@ ResultStore ResultStore::load(std::istream& is, const CampaignSpec& spec) {
   }
   const std::size_t pi = store.per_item();
   while (std::getline(is, line)) {
-    if (line == "end") return store;
+    if (line == "end") {
+      load_ns.record(util::telemetry::now_ns() - t0);
+      loads.add();
+      return store;
+    }
     if (line.rfind("item ", 0) != 0) fail("bad line: " + line);
     std::istringstream ls(line.substr(5));
     std::size_t index = 0;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <mutex>
 #include <stdexcept>
 #include <utility>
@@ -11,6 +12,7 @@
 #include "ulpdream/mem/memory.hpp"
 #include "ulpdream/sim/runner.hpp"
 #include "ulpdream/util/rng.hpp"
+#include "ulpdream/util/telemetry.hpp"
 
 namespace ulpdream::campaign {
 
@@ -39,6 +41,11 @@ struct CampaignJob {
       on_item;
   std::function<void(const ResultStore&)> on_checkpoint;
   Clock::time_point start{};
+  /// Per-EMT run_once latency histograms ("session.run_ns.<emt>"), and
+  /// matching interned trace-span names — resolved once at submit,
+  /// parallel to emt_objs.
+  std::vector<util::telemetry::Histogram> emt_run_ns;
+  std::vector<const char*> emt_span_names;
 
   // Guarded by `mutex`: the store and everything the observer /
   // checkpoint callbacks see. One short lock per completed item — the
@@ -47,9 +54,28 @@ struct CampaignJob {
   ResultStore store;
   std::size_t executed = 0;
   Clock::time_point last_item{};
+  // Recent-rate EWMA over >= 0.5 s windows (tau = 5 s), folded under the
+  // item lock; ewma_items/ewma_start describe the still-open window.
+  double ewma_rate = 0.0;
+  std::size_t ewma_items = 0;
+  Clock::time_point ewma_start{};
 
   std::shared_ptr<util::WorkPool::Job> pool_job;
 };
+
+/// EWMA parameters: fold a window no shorter than this, decay with this
+/// time constant. A 5 s tau tracks a post-resume rate change within
+/// ~10 s while riding out per-item jitter.
+constexpr double kEwmaMinWindowS = 0.5;
+constexpr double kEwmaTauS = 5.0;
+
+/// Folds an `items`-over-`dt` window into `ewma` (first window seeds it).
+inline double ewma_fold(double ewma, std::size_t items, double dt) {
+  const double inst = static_cast<double>(items) / dt;
+  if (ewma == 0.0) return inst;
+  const double alpha = 1.0 - std::exp(-dt / kEwmaTauS);
+  return ewma + alpha * (inst - ewma);
+}
 
 namespace {
 
@@ -69,8 +95,12 @@ void run_item(sim::ExperimentRunner& runner, const CampaignJob& job,
 
   samples.clear();
   for (const auto& app : job.app_objs) {
-    for (const auto& emt : job.emt_objs) {
+    for (std::size_t ei = 0; ei < job.emt_objs.size(); ++ei) {
+      const auto& emt = job.emt_objs[ei];
+      const std::uint64_t t0 = util::telemetry::now_ns();
+      const util::telemetry::TraceSpan span(job.emt_span_names[ei]);
       const sim::RunResult r = runner.run_once(*app, record, *emt, &map, v);
+      job.emt_run_ns[ei].record(util::telemetry::now_ns() - t0);
       Sample s;
       s.snr_db = r.snr_db;
       s.energy = r.energy;
@@ -93,17 +123,40 @@ namespace {
 /// caller-side handle plumbing), and the periodic checkpoint snapshot —
 /// serialized, so the callbacks always see a consistent store.
 void record_item(const std::shared_ptr<detail::CampaignJob>& job,
-                 const WorkItem& item, const std::vector<Sample>& samples) {
+                 const WorkItem& item, const std::vector<Sample>& samples,
+                 std::uint64_t item_start_ns) {
+  namespace tel = ulpdream::util::telemetry;
+  static const tel::Counter items_executed("session.items_executed");
+  static const tel::Counter checkpoints("session.checkpoints");
+  static const tel::Histogram checkpoint_ns("session.checkpoint_ns");
+  static const tel::Histogram item_ns("session.item_ns");
+  item_ns.record(tel::now_ns() - item_start_ns);
+
   const std::lock_guard lock(job->mutex);
   job->store.record_item(item, samples);
   ++job->executed;
+  items_executed.add();
   job->last_item = detail::Clock::now();
+  ++job->ewma_items;
+  const double window_s = std::chrono::duration<double>(
+                              job->last_item - job->ewma_start)
+                              .count();
+  if (window_s >= detail::kEwmaMinWindowS) {
+    job->ewma_rate = detail::ewma_fold(job->ewma_rate, job->ewma_items,
+                                       window_s);
+    job->ewma_items = 0;
+    job->ewma_start = job->last_item;
+  }
   if (job->on_item) {
     job->on_item(CampaignHandle(job), item, std::span<const Sample>(samples));
   }
   if (job->checkpoint_every != 0 && job->on_checkpoint &&
       job->executed % job->checkpoint_every == 0) {
+    ULPDREAM_TRACE_SPAN("session.checkpoint");
+    const std::uint64_t t0 = tel::now_ns();
     job->on_checkpoint(job->store);
+    checkpoint_ns.record(tel::now_ns() - t0);
+    checkpoints.add();
   }
 }
 
@@ -162,13 +215,26 @@ Progress CampaignHandle::progress() const {
       (job.executed > 0 && run_s > 0.0)
           ? static_cast<double>(job.executed) / run_s
           : 0.0;
+  // Recent rate: the folded EWMA plus the still-open window, computed
+  // without mutating the fold state (progress() is a pure observer).
+  double ewma = job.ewma_rate;
+  const double open_s =
+      std::chrono::duration<double>(now - job.ewma_start).count();
+  if (open_s >= detail::kEwmaMinWindowS) {
+    // Also when the open window is empty: a stalled run decays toward 0
+    // instead of freezing at its last healthy rate.
+    ewma = detail::ewma_fold(ewma, job.ewma_items, open_s);
+  }
+  p.items_per_second_ewma = ewma != 0.0 ? ewma : p.items_per_second;
   return p;
 }
 
 void CampaignHandle::cancel() const { checked(job_).pool_job->cancel(); }
 
 Session::Session(energy::SystemEnergyModel energy_model, unsigned threads)
-    : energy_model_(energy_model), pool_(threads) {}
+    : energy_model_(energy_model),
+      baseline_(util::telemetry::snapshot()),
+      pool_(threads) {}
 
 Session Session::from_cli(const util::Cli& cli,
                           energy::SystemEnergyModel energy_model) {
@@ -181,6 +247,11 @@ Session Session::from_cli(const util::Cli& cli,
 
 CampaignHandle Session::submit(const CampaignSpec& base_spec,
                                SubmitOptions options) {
+  namespace tel = util::telemetry;
+  ULPDREAM_TRACE_SPAN("session.submit");
+  static const tel::Counter submits("session.submits");
+  static const tel::Counter items_resumed("session.items_resumed");
+  submits.add();
   auto job = std::make_shared<detail::CampaignJob>();
   job->spec = base_spec.normalized();
   job->checkpoint_every = options.checkpoint_every;
@@ -211,6 +282,7 @@ CampaignHandle Session::submit(const CampaignSpec& base_spec,
     if (!job->store.item_done(item.index)) job->todo.push_back(item);
   }
   job->resumed = shard_items.size() - job->todo.size();
+  if (job->resumed != 0) items_resumed.add(job->resumed);
 
   // Deterministic shared inputs, materialized once on the submitting
   // thread: the record corpus (renamed to the unique axis label — the
@@ -237,8 +309,12 @@ CampaignHandle Session::submit(const CampaignSpec& base_spec,
     job->app_objs.push_back(apps::make_app(name));
   }
   job->emt_objs.reserve(job->spec.emts.size());
+  job->emt_run_ns.reserve(job->spec.emts.size());
+  job->emt_span_names.reserve(job->spec.emts.size());
   for (const std::string& name : job->spec.emts) {
     job->emt_objs.push_back(core::make_emt(name));
+    job->emt_run_ns.emplace_back("session.run_ns." + name);
+    job->emt_span_names.push_back(tel::intern("run." + name));
   }
   job->ber_model = mem::make_ber_model(job->spec.ber_model);
 
@@ -266,6 +342,7 @@ CampaignHandle Session::submit(const CampaignSpec& base_spec,
 
   job->start = detail::Clock::now();
   job->last_item = job->start;
+  job->ewma_start = job->start;
 
   // The factory closure owns a reference to the job; the pool releases
   // it (and every per-worker closure) the moment the job finishes, which
@@ -276,9 +353,10 @@ CampaignHandle Session::submit(const CampaignSpec& base_spec,
       job->todo.size(), [job, model = energy_model_]() {
         return [job, runner = sim::ExperimentRunner(model),
                 samples = std::vector<Sample>()](std::size_t i) mutable {
+          const std::uint64_t t0 = util::telemetry::now_ns();
           const WorkItem& item = job->todo[i];
           detail::run_item(runner, *job, item, samples);
-          record_item(job, item, samples);
+          record_item(job, item, samples, t0);
         };
       });
   job->pool_job->start();

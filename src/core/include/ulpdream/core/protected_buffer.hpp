@@ -14,6 +14,7 @@
 
 #include "ulpdream/core/emt.hpp"
 #include "ulpdream/mem/memory.hpp"
+#include "ulpdream/util/telemetry.hpp"
 
 namespace ulpdream::core {
 
@@ -72,10 +73,25 @@ class MemorySystem {
   }
 
  private:
+  /// Per-EMT telemetry handles (names "codec.<emt>.*"), resolved once at
+  /// construction so the block path pays only relaxed fetch_adds. The
+  /// *_block_ns latency histograms additionally gate on
+  /// telemetry::hot_timing_enabled() — clock reads are not free at
+  /// ~1270 Macc/s.
+  struct CodecTelemetry {
+    util::telemetry::Counter encode_calls, encode_words;
+    util::telemetry::Counter decode_calls, decode_words;
+    util::telemetry::Histogram encode_block_ns, decode_block_ns;
+  };
+  static CodecTelemetry make_codec_telemetry(const std::string& emt_name);
+  void store_block_impl(std::size_t addr, std::span<const fixed::Sample> src);
+  void load_block_impl(std::size_t addr, std::span<fixed::Sample> dst);
+
   const Emt* emt_;
   mem::FaultyMemory data_;
   std::optional<mem::SafeMemory> safe_;
   CodecCounters counters_;
+  CodecTelemetry telemetry_;
   std::size_t next_free_ = 0;
 };
 

@@ -6,8 +6,22 @@
 
 namespace ulpdream::core {
 
+MemorySystem::CodecTelemetry MemorySystem::make_codec_telemetry(
+    const std::string& emt_name) {
+  namespace tel = util::telemetry;
+  const std::string prefix = "codec." + emt_name + ".";
+  return {tel::Counter(prefix + "encode_calls"),
+          tel::Counter(prefix + "encode_words"),
+          tel::Counter(prefix + "decode_calls"),
+          tel::Counter(prefix + "decode_words"),
+          tel::Histogram(prefix + "encode_block_ns"),
+          tel::Histogram(prefix + "decode_block_ns")};
+}
+
 MemorySystem::MemorySystem(const Emt& emt, std::size_t words, int banks)
-    : emt_(&emt), data_(words, emt.payload_bits(), banks) {
+    : emt_(&emt),
+      data_(words, emt.payload_bits(), banks),
+      telemetry_(make_codec_telemetry(emt.name())) {
   if (emt.safe_bits() > 0) {
     safe_.emplace(words, emt.safe_bits());
   }
@@ -37,6 +51,18 @@ constexpr std::size_t kBlockChunk = 1024;
 
 void MemorySystem::store_block(std::size_t addr,
                                std::span<const fixed::Sample> src) {
+  telemetry_.encode_calls.add();
+  telemetry_.encode_words.add(src.size());
+  const bool timed = util::telemetry::hot_timing_enabled();
+  const std::uint64_t t0 = timed ? util::telemetry::now_ns() : 0;
+  store_block_impl(addr, src);
+  if (timed) {
+    telemetry_.encode_block_ns.record(util::telemetry::now_ns() - t0);
+  }
+}
+
+void MemorySystem::store_block_impl(std::size_t addr,
+                                    std::span<const fixed::Sample> src) {
   if (emt_->raw_data_path()) {
     // Samples are the payload verbatim: scatter straight from the source
     // span (int16_t reinterpreted as its unsigned twin — the same
@@ -67,6 +93,18 @@ void MemorySystem::store_block(std::size_t addr,
 
 void MemorySystem::load_block(std::size_t addr,
                               std::span<fixed::Sample> dst) {
+  telemetry_.decode_calls.add();
+  telemetry_.decode_words.add(dst.size());
+  const bool timed = util::telemetry::hot_timing_enabled();
+  const std::uint64_t t0 = timed ? util::telemetry::now_ns() : 0;
+  load_block_impl(addr, dst);
+  if (timed) {
+    telemetry_.decode_block_ns.record(util::telemetry::now_ns() - t0);
+  }
+}
+
+void MemorySystem::load_block_impl(std::size_t addr,
+                                   std::span<fixed::Sample> dst) {
   if (emt_->raw_data_path()) {
     data_.read_block(addr,
                      std::span<std::uint16_t>(

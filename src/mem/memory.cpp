@@ -5,12 +5,23 @@
 
 #include "ulpdream/util/rng.hpp"
 #include "ulpdream/util/simd.hpp"
+#include "ulpdream/util/telemetry.hpp"
 
 #if ULPDREAM_SIMD_X86
 #include <immintrin.h>
 #endif
 
 namespace ulpdream::mem {
+
+namespace {
+/// Words whose stored bits were rewritten by a FaultMap entry on read.
+/// Block paths tally locally and flush once per call; the scalar read()
+/// adds directly (it only pays when a fault actually applied).
+const util::telemetry::Counter& fault_patch_counter() {
+  static const util::telemetry::Counter counter("mem.fault_patch_words");
+  return counter;
+}
+}  // namespace
 
 void AccessStats::reset(std::size_t banks) {
   reads = 0;
@@ -81,7 +92,10 @@ std::uint32_t FaultyMemory::read(std::size_t addr) const {
   const std::size_t phys = physical(addr);
   std::uint32_t bits = store_.at(phys);
   if (faults_ != nullptr) {
-    if (const WordFaults* f = faults_->lookup(phys)) bits = f->apply(bits);
+    if (const WordFaults* f = faults_->lookup(phys)) {
+      bits = f->apply(bits);
+      fault_patch_counter().add();
+    }
   }
   ++stats_.reads;
   ++stats_.bank_reads[static_cast<std::size_t>(bank_of(phys))];
@@ -145,7 +159,8 @@ template <typename Word>
 __attribute__((target("avx2"))) std::size_t scrambled_gather_read_avx2(
     const std::uint32_t* store, std::uint64_t addr, std::uint64_t mul,
     std::uint64_t add, std::uint64_t wmask, std::uint32_t width_mask,
-    const FaultMap* faults, Word* dst, std::size_t n) {
+    const FaultMap* faults, Word* dst, std::size_t n,
+    std::size_t* patched) {
   static_assert(FaultMap::kChunkWords == 64);
   const __m256i vmul =
       _mm256_set1_epi32(static_cast<int>(static_cast<std::uint32_t>(mul)));
@@ -187,6 +202,7 @@ __attribute__((target("avx2"))) std::size_t scrambled_gather_read_avx2(
         for (int lane = 0; lane < 8; ++lane) {
           if (const WordFaults* f = faults->lookup(phys_buf[lane])) {
             bits_buf[lane] = f->apply(bits_buf[lane]);
+            ++*patched;
           }
         }
         bits = _mm256_load_si256(reinterpret_cast<const __m256i*>(bits_buf));
@@ -313,6 +329,8 @@ void FaultyMemory::read_block_impl(std::size_t addr, Word* dst,
   const bool scrambled = scramble_mul_ != 1 || scramble_add_ != 0;
   const std::uint64_t words = store_.size();
   const std::uint32_t wm = width_mask_;
+  // Tallied locally in the loops, flushed to telemetry once per call.
+  std::size_t patched = 0;
   stats_.reads += n;
   if (!scrambled) {
     const std::uint32_t* const src = store_.data() + addr;
@@ -337,6 +355,7 @@ void FaultyMemory::read_block_impl(std::size_t addr, Word* dst,
             std::uint32_t bits = src[i];
             if (const WordFaults* f = faults->lookup(addr + i)) {
               bits = f->apply(bits);
+              ++patched;
             }
             out[i] = static_cast<Word>(bits & wm);
           }
@@ -344,6 +363,7 @@ void FaultyMemory::read_block_impl(std::size_t addr, Word* dst,
       }
     }
     add_contiguous_bank_counts(bank_reads, banks, addr, n);
+    if (patched != 0) fault_patch_counter().add(patched);
     return;
   }
   if (is_pow2(words)) {
@@ -358,7 +378,7 @@ void FaultyMemory::read_block_impl(std::size_t addr, Word* dst,
         wmask <= 0xFFFFFFFFu) {
       i = scrambled_gather_read_avx2(store_.data(), addr, scramble_mul_,
                                      scramble_add_, wmask, wm, faults, dst,
-                                     n);
+                                     n, &patched);
     }
 #endif
     std::uint64_t phys = (phys0 + i * step) & wmask;
@@ -368,6 +388,7 @@ void FaultyMemory::read_block_impl(std::size_t addr, Word* dst,
         if (const WordFaults* f =
                 faults->lookup(static_cast<std::size_t>(phys))) {
           bits = f->apply(bits);
+          ++patched;
         }
       }
       dst[i] = static_cast<Word>(bits & wm);
@@ -382,6 +403,7 @@ void FaultyMemory::read_block_impl(std::size_t addr, Word* dst,
         phys = (phys + step) & wmask;
       }
     }
+    if (patched != 0) fault_patch_counter().add(patched);
     return;
   }
   for (std::size_t i = 0; i < n; ++i) {
@@ -390,11 +412,15 @@ void FaultyMemory::read_block_impl(std::size_t addr, Word* dst,
     const auto phys = static_cast<std::size_t>(mapped % words);
     std::uint32_t bits = store_[phys];
     if (faults != nullptr) {
-      if (const WordFaults* f = faults->lookup(phys)) bits = f->apply(bits);
+      if (const WordFaults* f = faults->lookup(phys)) {
+        bits = f->apply(bits);
+        ++patched;
+      }
     }
     dst[i] = static_cast<Word>(bits & wm);
     ++bank_reads[pow2_banks ? phys & (banks - 1) : phys % banks];
   }
+  if (patched != 0) fault_patch_counter().add(patched);
 }
 
 void FaultyMemory::read_block(std::size_t addr,

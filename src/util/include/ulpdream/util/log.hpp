@@ -9,11 +9,13 @@ namespace ulpdream::util {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 
-/// Global minimum level (default Info). Not thread-safe by design: all
-/// experiment drivers are single-threaded.
+/// Global minimum level (default Info). Atomic — safe to flip while pool
+/// workers are logging.
 void set_log_level(LogLevel level);
 [[nodiscard]] LogLevel log_level();
 
+/// Thread-safe: the sink write is mutex-guarded, so concurrent messages
+/// from WorkPool workers interleave whole-line, never mid-line.
 void log_message(LogLevel level, const std::string& msg);
 
 namespace detail {

@@ -116,6 +116,9 @@ class WorkPool::Job {
   std::size_t next_ = 0;       ///< first unclaimed index
   std::size_t in_flight_ = 0;  ///< claimed, still executing
   std::size_t done_ = 0;
+  /// Worker that claimed the previous index — consecutive indices landing
+  /// on different workers count as steals (telemetry only).
+  unsigned last_worker_ = ~0u;
   bool started_ = false;       ///< submit_deferred gates claims on this
   bool cancelled_ = false;
   bool finished_ = false;

@@ -1,11 +1,18 @@
 #include "ulpdream/util/log.hpp"
 
+#include <atomic>
 #include <iostream>
+#include <mutex>
 
 namespace ulpdream::util {
 
 namespace {
-LogLevel g_level = LogLevel::kInfo;
+std::atomic<LogLevel> g_level{LogLevel::kInfo};
+
+std::mutex& sink_mutex() {
+  static std::mutex* m = new std::mutex();  // leaked: loggable past exit
+  return *m;
+}
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -22,12 +29,22 @@ const char* level_name(LogLevel level) {
 }
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level = level; }
+void set_log_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
 
-LogLevel log_level() { return g_level; }
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
 void log_message(LogLevel level, const std::string& msg) {
-  std::cerr << "[" << level_name(level) << "] " << msg << '\n';
+  // One formatted write under the lock: interleaving happens between
+  // lines, not inside them. (Built with append(): GCC 12's -Wrestrict
+  // misfires on the equivalent operator+ chain.)
+  std::string line;
+  line.reserve(msg.size() + 10);
+  line.append("[").append(level_name(level)).append("] ");
+  line.append(msg).append("\n");
+  const std::lock_guard lock(sink_mutex());
+  std::cerr << line;
 }
 
 }  // namespace ulpdream::util

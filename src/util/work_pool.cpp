@@ -5,9 +5,24 @@
 #include <deque>
 #include <mutex>
 #include <stdexcept>
+#include <string>
 #include <utility>
 
+#include "ulpdream/util/telemetry.hpp"
+
 namespace ulpdream::util {
+
+namespace {
+
+/// Per-worker counter name; workers past 31 share one bucket so a huge
+/// pool cannot exhaust the registry's counter id space.
+std::string worker_metric(unsigned worker_id, const char* what) {
+  return "workpool.w" +
+         (worker_id < 32 ? std::to_string(worker_id) : std::string("rest")) +
+         "." + what;
+}
+
+}  // namespace
 
 // Shared between the pool and every job it ever issued, so job handles
 // stay safe to poll (and to wait on) after the pool is destroyed.
@@ -39,7 +54,14 @@ struct WorkPool::State {
     job->factory_ = nullptr;
     for (Job::Slot& slot : job->slots_) slot.fn = nullptr;
     jobs.erase(std::remove(jobs.begin(), jobs.end(), job), jobs.end());
+    queue_depth().set(static_cast<double>(jobs.size()));
     done_cv.notify_all();
+  }
+
+  /// Unfinished jobs currently queued on the pool.
+  static const telemetry::Gauge& queue_depth() {
+    static const telemetry::Gauge gauge("workpool.jobs_queued");
+    return gauge;
   }
 };
 
@@ -145,6 +167,7 @@ std::shared_ptr<WorkPool::Job> WorkPool::submit_deferred(
   std::shared_ptr<Job> job(new Job(state_, count, std::move(factory)));
   const std::lock_guard lock(state_->mutex);
   state_->jobs.push_back(job);
+  State::queue_depth().set(static_cast<double>(state_->jobs.size()));
   return job;
 }
 
@@ -161,7 +184,19 @@ void WorkPool::run(std::size_t count, WorkerFactory factory) {
 unsigned WorkPool::threads() const noexcept { return state_->threads; }
 
 void WorkPool::worker_main(unsigned worker_id) {
+  // Counter/histogram handles resolve their names once per process; the
+  // per-item cost below is a few relaxed fetch_adds and two clock reads —
+  // noise against ms-scale simulation items.
+  static const telemetry::Counter claims("workpool.claims");
+  static const telemetry::Counter steals("workpool.steals");
+  static const telemetry::Counter busy_total("workpool.busy_ns");
+  static const telemetry::Counter idle_total("workpool.idle_ns");
+  static const telemetry::Histogram claim_wait("workpool.claim_wait_ns");
+  const telemetry::Counter busy(worker_metric(worker_id, "busy_ns"));
+  const telemetry::Counter idle(worker_metric(worker_id, "idle_ns"));
+
   std::unique_lock lock(state_->mutex);
+  std::uint64_t seek_start = telemetry::now_ns();
   for (;;) {
     // Claim from the oldest claimable job — FIFO across jobs, one index
     // at a time, so concurrent jobs interleave and cancel is prompt.
@@ -179,16 +214,34 @@ void WorkPool::worker_main(unsigned worker_id) {
     }
     const std::size_t index = job->next_++;
     ++job->in_flight_;
+    claims.add();
+    if (job->last_worker_ != ~0u && job->last_worker_ != worker_id) {
+      steals.add();
+    }
+    job->last_worker_ = worker_id;
     lock.unlock();
+
+    const std::uint64_t item_start = telemetry::now_ns();
+    const std::uint64_t waited = item_start - seek_start;
+    claim_wait.record(waited);
+    idle.add(waited);
+    idle_total.add(waited);
 
     Job::Slot& slot = job->slots_[worker_id];
     std::exception_ptr error;
-    try {
-      if (!slot.fn) slot.fn = job->factory_();
-      slot.fn(index);
-    } catch (...) {
-      error = std::current_exception();
+    {
+      ULPDREAM_TRACE_SPAN("pool.item");
+      try {
+        if (!slot.fn) slot.fn = job->factory_();
+        slot.fn(index);
+      } catch (...) {
+        error = std::current_exception();
+      }
     }
+    const std::uint64_t ran = telemetry::now_ns() - item_start;
+    busy.add(ran);
+    busy_total.add(ran);
+    seek_start = item_start + ran;
 
     lock.lock();
     --job->in_flight_;
