@@ -32,6 +32,7 @@
 #include <thread>
 
 #include "ulpdream/campaign/session.hpp"
+#include "ulpdream/campaign/store_reader.hpp"
 #include "ulpdream/util/cli.hpp"
 #include "ulpdream/util/log.hpp"
 #include "ulpdream/util/table.hpp"
@@ -64,7 +65,8 @@ Execution (campaign::Session):
   --checkpoint-every N write the raw store to --store-out after every N
                        items (atomic tmp+rename), resumable with --resume
   --resume PATH        adopt a previous run's raw store and execute only
-                       the missing items (grid fingerprint must match)
+                       the missing items (grid fingerprint must match;
+                       text or columnar, auto-detected by magic)
 
 Observability (util::telemetry; see README "Observability"):
   --trace PATH         record spans on all workers and write Chrome
@@ -79,10 +81,20 @@ Observability (util::telemetry; see README "Observability"):
 
 Output:
   --store-out PATH     save the raw store (resume/merge input)
+  --store-format F     raw-store format: text | columnar         [text]
+                       (text: human-greppable line format, parsed on
+                       load; columnar: binary out-of-core format,
+                       zero-copy mmap load + streaming aggregation —
+                       pick it for >=10^5-item grids)
   --group LIST         aggregation axes: record,app,emt,voltage [all four]
   --csv PATH           aggregates as CSV (exact doubles)
   --json PATH          aggregates as JSON
   --merge-stores LIST  merge saved raw stores instead of executing
+                       (formats auto-detected and mixable; when every
+                       input is columnar and --store-format columnar
+                       --store-out PATH are given, shards fold by
+                       append + streaming aggregation — memory stays
+                       bounded no matter how large the stores are)
   --list               enumerate registered components and exit
   --help               this text
 
@@ -178,13 +190,9 @@ campaign::GroupBy group_from_cli(const util::Cli& cli) {
   return group;
 }
 
-/// Crash-safe raw-store write — ResultStore::save_atomic: a pid-unique
-/// staging file, fsync'd before the rename, so an interruption (or a
-/// second writer on the same path) never leaves a torn store — a file
-/// that exists is always a complete, loadable checkpoint.
-void save_store_atomic(const campaign::ResultStore& store,
-                       const std::string& path) {
-  store.save_atomic(path);
+/// The --store-format choice (write side only; reads auto-detect).
+campaign::StoreFormat store_format_from_cli(const util::Cli& cli) {
+  return campaign::parse_store_format(cli.get("store-format", "text"));
 }
 
 void print_progress(const campaign::Progress& p) {
@@ -248,8 +256,8 @@ void write_trace_json(const std::string& path) {
             << util::telemetry::trace::event_count() << " events)\n";
 }
 
-void export_aggregates(const util::Cli& cli, const campaign::ResultStore& store) {
-  const auto rows = store.aggregate(group_from_cli(cli));
+void export_rows(const util::Cli& cli,
+                 const std::vector<campaign::AggregateRow>& rows) {
   campaign::rows_to_table(
       rows, "Campaign aggregates (" + std::to_string(rows.size()) + " groups)")
       .print(std::cout);
@@ -266,6 +274,61 @@ void export_aggregates(const util::Cli& cli, const campaign::ResultStore& store)
     if (!f) throw std::runtime_error("failed to write " + path);
     std::cerr << "[campaign] wrote " << path << '\n';
   }
+}
+
+void export_aggregates(const util::Cli& cli,
+                       const campaign::ResultStore& store) {
+  export_rows(cli, store.aggregate(group_from_cli(cli)));
+}
+
+/// --merge-stores: reassemble shard/checkpoint stores instead of
+/// executing. Two regimes behind one flag:
+///  - out-of-core (every input columnar, --store-format columnar and a
+///    --store-out target): shards fold by append — sample bytes are
+///    concatenated verbatim, only the index is re-sorted — and the
+///    merged store aggregates streaming off its mapping. Memory never
+///    scales with the sample data, so this handles stores larger than
+///    RAM.
+///  - in-memory (anything else, including mixed formats): each input is
+///    materialized and folded with ResultStore::merge, preserving the
+///    small-store fast path and text/columnar interop.
+/// Both produce bit-identical aggregate rows (shared fold).
+void run_merge_stores(const util::Cli& cli, const campaign::CampaignSpec& spec,
+                      const std::string& list) {
+  const std::vector<std::string> paths = util::split_list(list);
+  const std::string store_out = cli.get("store-out", "");
+  const campaign::StoreFormat out_format = store_format_from_cli(cli);
+
+  bool all_columnar = true;
+  for (const std::string& path : paths) {
+    all_columnar = all_columnar && campaign::detect_store_format(path) ==
+                                       campaign::StoreFormat::kColumnar;
+  }
+
+  if (all_columnar && out_format == campaign::StoreFormat::kColumnar &&
+      !store_out.empty()) {
+    campaign::ColumnarStore::append_merge(paths, store_out, spec);
+    const campaign::ColumnarStore merged =
+        campaign::ColumnarStore::open(store_out, spec);
+    std::cerr << "[campaign] appended " << paths.size()
+              << " columnar shards into " << store_out << " ("
+              << merged.items_done() << " items, "
+              << (merged.mapped() ? "mapped" : "buffered") << ")\n";
+    export_rows(cli, merged.aggregate(group_from_cli(cli)));
+    return;
+  }
+
+  campaign::ResultStore merged(spec);
+  for (const std::string& path : paths) {
+    const auto reader = campaign::StoreReader::open(path, spec);
+    merged.merge(reader.materialize());
+  }
+  if (!store_out.empty()) {
+    campaign::save_store(merged, store_out, out_format);
+    std::cerr << "[campaign] wrote merged store " << store_out << " ("
+              << campaign::to_string(out_format) << ")\n";
+  }
+  export_aggregates(cli, merged);
 }
 
 }  // namespace
@@ -304,13 +367,7 @@ int main(int argc, char** argv) {
 
     // Merge mode: reassemble shard/checkpoint stores instead of executing.
     if (const std::string list = cli.get("merge-stores", ""); !list.empty()) {
-      campaign::ResultStore merged(spec);
-      for (const std::string& path : util::split_list(list)) {
-        std::ifstream f(path);
-        if (!f) throw std::runtime_error("cannot open " + path);
-        merged.merge(campaign::ResultStore::load(f, spec));
-      }
-      export_aggregates(cli, merged);
+      run_merge_stores(cli, spec, list);
       return 0;
     }
 
@@ -321,15 +378,16 @@ int main(int argc, char** argv) {
     // against this invocation's axes) and execute only the gaps.
     campaign::ResultStore resume_store;
     if (const std::string path = cli.get("resume", ""); !path.empty()) {
-      std::ifstream f(path);
-      if (!f) throw std::runtime_error("cannot open " + path);
-      resume_store = campaign::ResultStore::load(f, spec);
+      const auto reader = campaign::StoreReader::open(path, spec);
+      resume_store = reader.materialize();
       options.resume_from = &resume_store;
       std::cerr << "[campaign] resuming from " << path << " ("
+                << campaign::to_string(reader.format()) << ", "
                 << resume_store.items_done() << " items already done)\n";
     }
 
     const std::string store_out = cli.get("store-out", "");
+    const campaign::StoreFormat store_format = store_format_from_cli(cli);
     const auto checkpoint_every =
         static_cast<std::size_t>(std::max<std::int64_t>(
             0, cli.get_int("checkpoint-every", 0)));
@@ -340,8 +398,9 @@ int main(int argc, char** argv) {
             "target)");
       }
       options.checkpoint_every = checkpoint_every;
-      options.on_checkpoint = [&store_out](const campaign::ResultStore& s) {
-        save_store_atomic(s, store_out);
+      options.on_checkpoint = [&store_out,
+                               store_format](const campaign::ResultStore& s) {
+        campaign::save_store(s, store_out, store_format);
       };
     }
 
@@ -402,8 +461,9 @@ int main(int argc, char** argv) {
     }
 
     if (!store_out.empty()) {
-      save_store_atomic(store, store_out);
+      campaign::save_store(store, store_out, store_format);
       std::cerr << "[campaign] wrote raw store " << store_out << " ("
+                << campaign::to_string(store_format) << ", "
                 << store.items_done() << " items)\n";
     }
     if (!metrics_out.empty()) {

@@ -142,11 +142,38 @@ class ResultStore {
   /// Crash-safe save to a file: serialize to a staging file whose name is
   /// unique to this process (PATH.tmp.<pid> — concurrent writers aiming
   /// at the same target never tear each other's staging bytes), flush it
-  /// to stable storage (POSIX fsync), then rename it over PATH. A file at
+  /// to stable storage (POSIX fsync), rename it over PATH, then fsync the
+  /// parent directory so the rename itself survives power loss. A file at
   /// PATH is therefore always a complete, loadable checkpoint — never a
   /// torn or merely page-cached one. Throws std::runtime_error on I/O
   /// failure; the staging file is removed on every failure path.
   void save_atomic(const std::string& path) const;
+
+  /// Binary columnar save — the out-of-core sibling of save()/save_atomic
+  /// (format in columnar.hpp): done items' samples as fixed-width
+  /// little-endian columns behind a header + sorted index, published with
+  /// the same staged fsync+rename+directory-fsync protocol. The result
+  /// reopens zero-copy via ColumnarStore::open / StoreReader::open (which
+  /// auto-detects the format by magic). Byte-deterministic: equal stores
+  /// save to equal files.
+  void save_columnar(const std::string& path) const;
+
+  /// Read-only slot views — the persistence seam the columnar writer and
+  /// other exporters serialize from. `slot` indexes the sorted item index
+  /// (slot_items()[slot] is the canonical item it holds).
+  [[nodiscard]] std::span<const std::size_t> slot_items() const noexcept {
+    return item_index_;
+  }
+  [[nodiscard]] bool slot_done(std::size_t slot) const {
+    return item_done_.at(slot) != 0;
+  }
+  [[nodiscard]] std::span<const Sample> slot_samples(std::size_t slot) const {
+    return std::span<const Sample>(samples_)
+        .subspan(slot * per_item(), per_item());
+  }
+  [[nodiscard]] std::span<const double> max_snr_values() const noexcept {
+    return max_snr_;
+  }
 
  private:
   static constexpr std::size_t kNoSlot = static_cast<std::size_t>(-1);

@@ -1,0 +1,99 @@
+#pragma once
+// The format seam over campaign raw-store persistence. Two on-disk
+// formats exist — the line-oriented text format (the small-store fast
+// path: human-greppable, byte-comparable checkpoints) and the binary
+// columnar format (the out-of-core path: zero-copy mmap load, streaming
+// aggregation, merge-by-append). StoreReader::open() auto-detects which
+// one a file is by its magic bytes and presents one query surface, so
+// the CLI's --resume/--merge-stores and any other consumer accept both
+// formats transparently; save_store() is the matching write-side switch.
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ulpdream/campaign/columnar.hpp"
+#include "ulpdream/campaign/result_store.hpp"
+#include "ulpdream/campaign/spec.hpp"
+
+namespace ulpdream::campaign {
+
+enum class StoreFormat {
+  kText,      ///< "ulpdream-campaign-store v1" line format
+  kColumnar,  ///< "ULPDCOL1" binary columnar format
+};
+
+[[nodiscard]] const char* to_string(StoreFormat format) noexcept;
+/// Parses "text" / "columnar" (the --store-format CLI values); throws
+/// std::invalid_argument listing the valid names.
+[[nodiscard]] StoreFormat parse_store_format(const std::string& name);
+
+/// Sniffs the magic bytes of `path`. Throws StoreError (naming the path)
+/// when the file cannot be read or matches neither format.
+[[nodiscard]] StoreFormat detect_store_format(const std::string& path);
+
+/// Crash-safe save in the chosen format (text -> ResultStore::save_atomic,
+/// columnar -> ResultStore::save_columnar). Both stage, fsync, rename and
+/// fsync the parent directory.
+void save_store(const ResultStore& store, const std::string& path,
+                StoreFormat format);
+
+/// A raw store opened from disk in whichever format it was saved. Text
+/// stores are parsed into a heap ResultStore at open (they are the small
+/// ones); columnar stores stay on disk behind the mmap/bounded view and
+/// aggregate without materializing.
+class StoreReader {
+ public:
+  struct OpenOptions {
+    bool allow_mmap = true;
+    bool bounded_memory = false;  ///< columnar only; see ColumnarStore
+  };
+
+  /// Opens `path`, auto-detecting the format, and validates it against
+  /// `spec`. Throws StoreError naming the path on unreadable, malformed
+  /// or mismatched files (the text parser's errors are wrapped).
+  [[nodiscard]] static StoreReader open(const std::string& path,
+                                        const CampaignSpec& spec,
+                                        const OpenOptions& options);
+  [[nodiscard]] static StoreReader open(const std::string& path,
+                                        const CampaignSpec& spec) {
+    return open(path, spec, OpenOptions{});
+  }
+
+  [[nodiscard]] StoreFormat format() const noexcept { return format_; }
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+  [[nodiscard]] const CampaignSpec& spec() const;
+
+  [[nodiscard]] std::size_t items_done() const;
+  [[nodiscard]] bool complete() const;
+  [[nodiscard]] bool item_done(std::size_t item_index) const;
+
+  /// Grouped aggregation — streaming (out-of-core) for columnar stores,
+  /// in-memory for text stores; bit-identical rows either way.
+  [[nodiscard]] std::vector<AggregateRow> aggregate(
+      const GroupBy& group = GroupBy{}) const;
+
+  /// A heap ResultStore with this store's contents — what resume_from and
+  /// in-memory merging consume. For a text store this copies the already
+  /// parsed store; for columnar it materializes the columns (the one
+  /// deliberate full-store copy in the out-of-core path).
+  [[nodiscard]] ResultStore materialize() const;
+
+  /// The underlying columnar view, or nullptr for a text store — for
+  /// consumers that want columnar-only operations (append_merge inputs,
+  /// bounded re-aggregation).
+  [[nodiscard]] const ColumnarStore* columnar() const noexcept {
+    return columnar_ ? &*columnar_ : nullptr;
+  }
+
+ private:
+  StoreReader() = default;
+
+  StoreFormat format_ = StoreFormat::kText;
+  std::string path_;
+  std::optional<ResultStore> text_;  ///< parsed text store
+  std::optional<ColumnarStore> columnar_;
+};
+
+}  // namespace ulpdream::campaign

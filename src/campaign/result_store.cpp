@@ -14,10 +14,11 @@
 #include <utility>
 
 #if defined(__unix__) || defined(__APPLE__)
-#include <fcntl.h>
 #include <unistd.h>
 #endif
 
+#include "aggregate_fold.hpp"
+#include "ulpdream/util/file_view.hpp"
 #include "ulpdream/util/stats.hpp"
 #include "ulpdream/util/telemetry.hpp"
 
@@ -27,28 +28,10 @@ namespace {
 
 constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
 
-/// Per-group fold state (same shape as the sweep's CellAccum).
-struct GroupAccum {
-  util::RunningStats snr;
-  util::QuantileSketch snr_quantiles;
-  util::RunningStats energy;
-  energy::EnergyBreakdown energy_sum{};
-  util::RunningStats corrected;
-  util::RunningStats detected;
-
-  void add(const Sample& s) {
-    snr.add(s.snr_db);
-    snr_quantiles.add(s.snr_db);
-    energy.add(s.energy.total_j());
-    energy_sum.data_dynamic_j += s.energy.data_dynamic_j;
-    energy_sum.side_dynamic_j += s.energy.side_dynamic_j;
-    energy_sum.codec_j += s.energy.codec_j;
-    energy_sum.data_leak_j += s.energy.data_leak_j;
-    energy_sum.side_leak_j += s.energy.side_leak_j;
-    corrected.add(s.corrected_words);
-    detected.add(s.detected_uncorrectable);
-  }
-};
+// The per-group fold state and the grouped fold itself live in
+// aggregate_fold.hpp, shared with the streaming columnar path so the two
+// formats aggregate bit-identically by construction.
+using detail::GroupAccum;
 
 }  // namespace
 
@@ -191,69 +174,23 @@ std::vector<AggregateRow> ResultStore::aggregate(const GroupBy& group) const {
   }
   const std::size_t na = spec_.apps.size();
   const std::size_t ne = spec_.emts.size();
-  const std::size_t nv = spec_.voltages.size();
-  const std::size_t reps = spec_.repetitions;
-
-  const std::size_t gr = group.record ? spec_.records.size() : 1;
-  const std::size_t ga = group.app ? na : 1;
-  const std::size_t ge = group.emt ? ne : 1;
-  const std::size_t gv = group.voltage ? nv : 1;
-  std::vector<GroupAccum> accums(gr * ga * ge * gv);
 
   // Canonical fold order: item index major, then app, then EMT — the slot
   // index is sorted by item, so this is a linear walk and every group
   // receives its samples in the same order however the campaign was
-  // executed.
+  // executed (and identically to the streaming columnar path, which feeds
+  // the same folder in the same order).
+  detail::AggregateFolder folder(spec_, group);
   for (std::size_t slot = 0; slot < item_index_.size(); ++slot) {
     const std::size_t item = item_index_[slot];
-    const std::size_t ri = item / (nv * reps);
-    const std::size_t vi = (item / reps) % nv;
     const std::size_t base = slot * na * ne;
     for (std::size_t ai = 0; ai < na; ++ai) {
       for (std::size_t ei = 0; ei < ne; ++ei) {
-        const std::size_t gi =
-            ((((group.record ? ri : 0) * ga + (group.app ? ai : 0)) * ge +
-              (group.emt ? ei : 0)) *
-             gv) +
-            (group.voltage ? vi : 0);
-        accums[gi].add(samples_[base + ai * ne + ei]);
+        folder.add(item, ai, ei, samples_[base + ai * ne + ei]);
       }
     }
   }
-
-  std::vector<AggregateRow> rows;
-  rows.reserve(accums.size());
-  for (std::size_t ri = 0; ri < gr; ++ri) {
-    for (std::size_t ai = 0; ai < ga; ++ai) {
-      for (std::size_t ei = 0; ei < ge; ++ei) {
-        for (std::size_t vi = 0; vi < gv; ++vi) {
-          const GroupAccum& a = accums[((ri * ga + ai) * ge + ei) * gv + vi];
-          AggregateRow row;
-          if (group.record) row.record = spec_.records[ri].label();
-          if (group.app) row.app = spec_.apps[ai];
-          if (group.emt) row.emt = spec_.emts[ei];
-          row.voltage = group.voltage ? spec_.voltages[vi] : kNan;
-          row.n = a.snr.count();
-          row.snr_mean_db = a.snr.mean();
-          row.snr_stddev_db = a.snr.stddev();
-          row.snr_min_db = a.snr.min();
-          row.snr_max_db = a.snr.max();
-          row.snr_p10_db = a.snr_quantiles.quantile(0.10);
-          row.energy_mean_j = a.energy.mean();
-          const double n = static_cast<double>(a.snr.count());
-          row.data_dynamic_j = a.energy_sum.data_dynamic_j / n;
-          row.side_dynamic_j = a.energy_sum.side_dynamic_j / n;
-          row.codec_j = a.energy_sum.codec_j / n;
-          row.data_leak_j = a.energy_sum.data_leak_j / n;
-          row.side_leak_j = a.energy_sum.side_leak_j / n;
-          row.corrected_mean = a.corrected.mean();
-          row.detected_mean = a.detected.mean();
-          rows.push_back(std::move(row));
-        }
-      }
-    }
-  }
-  return rows;
+  return folder.rows();
 }
 
 sim::SweepResult ResultStore::to_sweep_result(std::size_t record_index,
@@ -373,23 +310,11 @@ void ResultStore::save_atomic(const std::string& path) const {
                                tmp);
     }
   }
-#if defined(__unix__) || defined(__APPLE__)
-  // Force the staged bytes to stable storage before the rename publishes
-  // the name: rename-then-crash must never expose a page-cache-only file.
-  const int fd = ::open(tmp.c_str(), O_WRONLY);
-  if (fd < 0 || ::fsync(fd) != 0) {
-    if (fd >= 0) ::close(fd);
-    std::remove(tmp.c_str());
-    throw std::runtime_error("ResultStore::save_atomic: failed to sync " +
-                             tmp);
-  }
-  ::close(fd);
-#endif
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::remove(tmp.c_str());
-    throw std::runtime_error("ResultStore::save_atomic: failed to rename " +
-                             tmp + " -> " + path);
-  }
+  // Staged bytes are fsync'd before the rename publishes the name, and
+  // the parent directory is fsync'd after it — rename-then-crash must
+  // never expose a page-cache-only file nor lose the directory entry.
+  // (Shared with the columnar writer; see util::publish_file_atomic.)
+  util::publish_file_atomic(tmp, path);
 }
 
 ResultStore ResultStore::load(std::istream& is, const CampaignSpec& spec) {

@@ -1,0 +1,123 @@
+#include "ulpdream/campaign/store_reader.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace ulpdream::campaign {
+
+namespace {
+/// First bytes of the text format's magic line
+/// ("ulpdream-campaign-store v1").
+constexpr char kTextMagicPrefix[] = "ulpdream";
+}  // namespace
+
+const char* to_string(StoreFormat format) noexcept {
+  switch (format) {
+    case StoreFormat::kText:
+      return "text";
+    case StoreFormat::kColumnar:
+      return "columnar";
+  }
+  return "?";
+}
+
+StoreFormat parse_store_format(const std::string& name) {
+  if (name == "text") return StoreFormat::kText;
+  if (name == "columnar") return StoreFormat::kColumnar;
+  throw std::invalid_argument("unknown store format '" + name +
+                              "' (valid: text, columnar)");
+}
+
+StoreFormat detect_store_format(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) {
+    throw StoreError(path, "cannot open store file");
+  }
+  char magic[8] = {};
+  is.read(magic, sizeof(magic));
+  if (is.gcount() < static_cast<std::streamsize>(sizeof(magic))) {
+    throw StoreError(path, "file too short to be a campaign store");
+  }
+  if (std::memcmp(magic, kColumnarMagic, sizeof(magic)) == 0) {
+    return StoreFormat::kColumnar;
+  }
+  if (std::memcmp(magic, kTextMagicPrefix, sizeof(magic)) == 0) {
+    return StoreFormat::kText;
+  }
+  throw StoreError(path,
+                   "unrecognized store format (matches neither the text "
+                   "magic line nor the columnar magic)");
+}
+
+void save_store(const ResultStore& store, const std::string& path,
+                StoreFormat format) {
+  switch (format) {
+    case StoreFormat::kText:
+      store.save_atomic(path);
+      return;
+    case StoreFormat::kColumnar:
+      store.save_columnar(path);
+      return;
+  }
+}
+
+StoreReader StoreReader::open(const std::string& path,
+                              const CampaignSpec& spec,
+                              const OpenOptions& options) {
+  StoreReader reader;
+  reader.path_ = path;
+  reader.format_ = detect_store_format(path);
+  switch (reader.format_) {
+    case StoreFormat::kText: {
+      std::ifstream is(path, std::ios::binary);
+      if (!is) throw StoreError(path, "cannot open store file");
+      try {
+        reader.text_ = ResultStore::load(is, spec);
+      } catch (const StoreError&) {
+        throw;
+      } catch (const std::exception& e) {
+        // The text parser's errors (std::runtime_error /
+        // std::invalid_argument) do not name the file; wrap them so every
+        // open failure is a StoreError carrying the path.
+        throw StoreError(path, e.what());
+      }
+      break;
+    }
+    case StoreFormat::kColumnar: {
+      ColumnarStore::OpenOptions copts;
+      copts.allow_mmap = options.allow_mmap;
+      copts.bounded_memory = options.bounded_memory;
+      reader.columnar_ = ColumnarStore::open(path, spec, copts);
+      break;
+    }
+  }
+  return reader;
+}
+
+const CampaignSpec& StoreReader::spec() const {
+  return text_ ? text_->spec() : columnar_->spec();
+}
+
+std::size_t StoreReader::items_done() const {
+  return text_ ? text_->items_done() : columnar_->items_done();
+}
+
+bool StoreReader::complete() const {
+  return text_ ? text_->complete() : columnar_->complete();
+}
+
+bool StoreReader::item_done(std::size_t item_index) const {
+  return text_ ? text_->item_done(item_index)
+               : columnar_->item_done(item_index);
+}
+
+std::vector<AggregateRow> StoreReader::aggregate(const GroupBy& group) const {
+  return text_ ? text_->aggregate(group) : columnar_->aggregate(group);
+}
+
+ResultStore StoreReader::materialize() const {
+  return text_ ? *text_ : columnar_->materialize();
+}
+
+}  // namespace ulpdream::campaign

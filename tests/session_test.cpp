@@ -19,6 +19,7 @@
 #include "ulpdream/campaign/engine.hpp"
 #include "ulpdream/campaign/scenario.hpp"
 #include "ulpdream/campaign/session.hpp"
+#include "ulpdream/campaign/store_reader.hpp"
 #include "ulpdream/ecg/database.hpp"
 #include "ulpdream/sim/parallel_sweep.hpp"
 #include "ulpdream/sim/runner.hpp"
@@ -176,6 +177,54 @@ TEST(Session, EveryCheckpointResumesToTheIdenticalStore) {
   }
 }
 
+TEST(Session, ColumnarCheckpointResumesToTheIdenticalStore) {
+  // The out-of-core sibling of EveryCheckpointResumesToTheIdenticalStore:
+  // checkpoints persisted with save_columnar, reopened through the
+  // auto-detecting StoreReader as a fresh process would, must complete to
+  // the uninterrupted run bit-identically.
+  const CampaignSpec spec = small_spec(2016, 5);  // 10 items
+  const std::string reference = reference_bytes(spec);
+
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "ulpdream_columnar_ckpt";
+  std::filesystem::create_directories(dir);
+  std::vector<std::string> checkpoint_paths;
+  {
+    Session session(energy::SystemEnergyModel(), 4);
+    SubmitOptions options;
+    options.checkpoint_every = 1;
+    options.on_checkpoint = [&](const ResultStore& snapshot) {
+      const std::string path =
+          (dir / ("ckpt" + std::to_string(checkpoint_paths.size()) + ".col"))
+              .string();
+      snapshot.save_columnar(path);
+      checkpoint_paths.push_back(path);
+    };
+    const ResultStore store = session.submit(spec, options).wait();
+    EXPECT_EQ(save_bytes(store), reference);
+  }
+  ASSERT_EQ(checkpoint_paths.size(), spec.item_count());
+
+  for (const std::size_t at : {std::size_t{0}, checkpoint_paths.size() / 2,
+                               checkpoint_paths.size() - 1}) {
+    SCOPED_TRACE(testing::Message() << "interrupted after checkpoint " << at);
+    const StoreReader reader = StoreReader::open(checkpoint_paths[at], spec);
+    EXPECT_EQ(reader.format(), StoreFormat::kColumnar);
+    const ResultStore snapshot = reader.materialize();
+    EXPECT_EQ(snapshot.items_done(), at + 1);
+
+    Session session(energy::SystemEnergyModel(), 4);
+    SubmitOptions resume;
+    resume.resume_from = &snapshot;
+    const CampaignHandle handle = session.submit(spec, resume);
+    const ResultStore completed = handle.wait();
+    ASSERT_TRUE(completed.complete());
+    EXPECT_EQ(save_bytes(completed), reference);
+    EXPECT_EQ(handle.progress().items_resumed, at + 1);
+  }
+  std::filesystem::remove_all(dir);
+}
+
 TEST(Session, SaveAtomicPublishesTheExactByteStreamAndCleansItsStaging) {
   const CampaignSpec spec = small_spec(2016);
   const CampaignEngine engine(energy::SystemEnergyModel(), 1);
@@ -328,6 +377,29 @@ TEST(Session, ScenarioSubmitsOntoAnAttachedSession) {
   EXPECT_EQ(save_bytes(store), reference_bytes(scenario.build_spec()));
 
   EXPECT_THROW((void)Scenario().app("dwt").submit(), std::logic_error);
+}
+
+TEST(Session, ScenarioRunToPersistsInEitherFormatAndReopensIdentically) {
+  Scenario scenario;
+  scenario.app("dwt").emt("none").voltage(0.8).repetitions(2).seed(5);
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "ulpdream_scenario_run_to";
+  std::filesystem::create_directories(dir);
+
+  const ResultStore text_store =
+      scenario.run_to((dir / "run.store").string(), StoreFormat::kText);
+  const ResultStore col_store = scenario.run_to((dir / "run.col").string(),
+                                                StoreFormat::kColumnar);
+  EXPECT_EQ(save_bytes(text_store), save_bytes(col_store));
+
+  const CampaignSpec spec = scenario.build_spec();
+  const StoreReader text = StoreReader::open((dir / "run.store").string(), spec);
+  const StoreReader col = StoreReader::open((dir / "run.col").string(), spec);
+  EXPECT_EQ(text.format(), StoreFormat::kText);
+  EXPECT_EQ(col.format(), StoreFormat::kColumnar);
+  EXPECT_EQ(save_bytes(text.materialize()), save_bytes(text_store));
+  EXPECT_EQ(save_bytes(col.materialize()), save_bytes(text_store));
+  std::filesystem::remove_all(dir);
 }
 
 TEST(Session, SweepsShareTheSessionPoolWithRunningCampaigns) {
