@@ -22,6 +22,7 @@
 //   campaign <axes...> --merge-stores shard0.store,shard1.store,shard2.store
 //            --csv merged.csv
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -33,6 +34,8 @@
 
 #include "ulpdream/campaign/session.hpp"
 #include "ulpdream/campaign/store_reader.hpp"
+#include "ulpdream/dist/coordinator.hpp"
+#include "ulpdream/dist/worker.hpp"
 #include "ulpdream/util/cli.hpp"
 #include "ulpdream/util/log.hpp"
 #include "ulpdream/util/table.hpp"
@@ -42,9 +45,67 @@ using namespace ulpdream;
 
 namespace {
 
+/// A problem with how the command line was written (unknown flag or
+/// verb, missing required flag, unparseable value) — exits 2, distinct
+/// from runtime failures (exit 1), so scripts can tell "fix your
+/// invocation" from "the run failed".
+class UsageError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Runs `f`, reclassifying std::invalid_argument as UsageError: the
+/// parse helpers below and the axis/registry parsers all signal bad
+/// flag *values* with invalid_argument, and a bad value is a usage
+/// problem, not a runtime one.
+template <typename F>
+decltype(auto) parse_flags(F&& f) {
+  try {
+    return f();
+  } catch (const std::invalid_argument& e) {
+    throw UsageError(e.what());
+  }
+}
+
+/// Every flag the grid axes understand (shared by run/serve/work).
+const std::vector<std::string>& axis_flags() {
+  static const std::vector<std::string> flags = {
+      "apps", "emts",        "vmin", "vmax", "step",      "pathologies",
+      "noise", "record-seed", "reps", "seed", "ber-model"};
+  return flags;
+}
+
+/// Rejects any given flag outside `allowed` (+ the axis flags), naming
+/// the offending flag. Every verb calls this first, so a typo fails
+/// fast with exit 2 instead of being silently ignored.
+void enforce_flags(const util::Cli& cli,
+                   const std::vector<std::string>& allowed,
+                   const std::string& verb) {
+  for (const std::string& key : cli.keys()) {
+    if (std::find(allowed.begin(), allowed.end(), key) != allowed.end()) {
+      continue;
+    }
+    const auto& axes = axis_flags();
+    if (std::find(axes.begin(), axes.end(), key) != axes.end()) continue;
+    throw UsageError("unknown flag --" + key + " for 'campaign" +
+                     (verb.empty() ? "" : " " + verb) + "' (see --help)");
+  }
+}
+
 void print_help() {
   std::cout <<
       R"(campaign — declarative experiment grids on the async session runtime
+
+Usage:
+  campaign [--flags]          execute a grid in this process
+  campaign serve [--flags]    coordinate a distributed campaign (lease
+                              item ranges to socket-connected workers,
+                              ingest their columnar shards, publish the
+                              merged store)
+  campaign work [--flags]     execute leases for a coordinator
+
+Exit codes: 0 success; 1 runtime failure; 2 usage error (unknown flag or
+verb, missing required flag, bad flag value — the message names it).
 
 Grid axes:
   --apps LIST          comma list of app names, or paper|all   [paper]
@@ -98,9 +159,35 @@ Output:
   --list               enumerate registered components and exit
   --help               this text
 
+Distributed (campaign serve; see README "Distributed campaigns"):
+  --listen EP          endpoint to serve on: HOST:PORT (port 0 picks an
+                       ephemeral port, printed on stderr) or unix:/path
+  --lease-items N      items per lease grant                    [256]
+  --lease-ttl MS       re-lease a lease not renewed within MS   [10000]
+  --heartbeat-ms MS    renewal cadence advertised to workers    [2000]
+  --spool-dir DIR      where ingested shard files land (required)
+  --store-out PATH     the merged columnar store (required); byte-
+                       identical to a single-process run of the grid
+  --metrics-out PATH   write the folded worker metrics JSON
+
+Distributed (campaign work):
+  --connect EP         coordinator endpoint (required)
+  --name NAME          worker label for logs and telemetry      [worker]
+  --threads N          session pool workers; 0 = all hardware   [0]
+  --checkpoint-dir DIR local columnar checkpoints of the in-progress
+                       lease (crash forensics; the coordinator re-leases
+                       regardless)
+  --checkpoint-every N checkpoint cadence in items (with --checkpoint-dir)
+
+Both verbs take the same grid-axis flags as a local run; the worker's
+HELLO carries the grid fingerprint and the coordinator rejects a
+mismatch quoting both, so a serve/work pair can never silently compute
+different campaigns.
+
 Determinism: item RNG streams are keyed on (seed, item index) alone, so
-any thread count, shard split, cancellation point or checkpoint/resume
-split reproduces the uninterrupted run bit-identically.
+any thread count, shard split, cancellation point, checkpoint/resume
+split or distributed lease split reproduces the uninterrupted run
+bit-identically.
 )";
 }
 
@@ -331,15 +418,99 @@ void run_merge_stores(const util::Cli& cli, const campaign::CampaignSpec& spec,
   export_aggregates(cli, merged);
 }
 
-}  // namespace
+/// `campaign serve`: coordinate a distributed campaign.
+int run_serve(const util::Cli& cli) {
+  enforce_flags(cli,
+                {"listen", "lease-items", "lease-ttl", "heartbeat-ms",
+                 "spool-dir", "store-out", "metrics-out", "help"},
+                "serve");
+  const campaign::CampaignSpec spec =
+      parse_flags([&cli] { return spec_from_cli(cli); });
 
-int main(int argc, char** argv) {
-  try {
-    const util::Cli cli(argc, argv);
-    if (cli.has("help")) {
-      print_help();
-      return 0;
-    }
+  dist::Coordinator::Options options;
+  options.listen = cli.get("listen", "");
+  if (options.listen.empty()) {
+    throw UsageError(
+        "campaign serve requires --listen HOST:PORT or --listen unix:/path");
+  }
+  options.spool_dir = cli.get("spool-dir", "");
+  if (options.spool_dir.empty()) {
+    throw UsageError("campaign serve requires --spool-dir DIR");
+  }
+  options.store_out = cli.get("store-out", "");
+  if (options.store_out.empty()) {
+    throw UsageError("campaign serve requires --store-out PATH");
+  }
+  options.lease_items = static_cast<std::size_t>(
+      std::max<std::int64_t>(1, cli.get_int("lease-items", 256)));
+  options.lease_ttl_ms = static_cast<std::size_t>(
+      std::max<std::int64_t>(1, cli.get_int("lease-ttl", 10'000)));
+  options.heartbeat_ms = static_cast<std::size_t>(
+      std::max<std::int64_t>(1, cli.get_int("heartbeat-ms", 2'000)));
+  options.metrics_out = cli.get("metrics-out", "");
+
+  dist::Coordinator coordinator(spec, options);
+  std::cerr << "[campaign] serving " << spec.item_count() << " items on "
+            << coordinator.endpoint() << " (leases of "
+            << options.lease_items << " items, TTL " << options.lease_ttl_ms
+            << " ms)\n";
+  const dist::Coordinator::Report report = coordinator.serve();
+  std::cerr << "[campaign] campaign complete: " << report.workers_seen
+            << " workers, " << report.leases_granted << " leases granted ("
+            << report.leases_expired << " expired, " << report.leases_revoked
+            << " revoked, " << report.stale_results << " stale results), "
+            << report.shards_ingested << " shards / " << report.ingest_bytes
+            << " bytes ingested\n";
+  std::cerr << "[campaign] wrote merged store " << options.store_out << '\n';
+  if (!options.metrics_out.empty()) {
+    std::cerr << "[campaign] wrote merged worker metrics "
+              << options.metrics_out << '\n';
+  }
+  return 0;
+}
+
+/// `campaign work`: execute leases for a coordinator.
+int run_work(const util::Cli& cli) {
+  enforce_flags(cli,
+                {"connect", "name", "threads", "checkpoint-dir",
+                 "checkpoint-every", "help"},
+                "work");
+  const campaign::CampaignSpec spec =
+      parse_flags([&cli] { return spec_from_cli(cli); });
+
+  dist::Worker::Options options;
+  options.connect = cli.get("connect", "");
+  if (options.connect.empty()) {
+    throw UsageError(
+        "campaign work requires --connect HOST:PORT or --connect unix:/path");
+  }
+  options.name = cli.get("name", "worker");
+  options.threads = static_cast<unsigned>(
+      std::max<std::int64_t>(0, cli.get_int("threads", 0)));
+  options.checkpoint_dir = cli.get("checkpoint-dir", "");
+  options.checkpoint_every = static_cast<std::size_t>(
+      std::max<std::int64_t>(0, cli.get_int("checkpoint-every", 0)));
+
+  dist::Worker worker(spec, options);
+  std::cerr << "[campaign] worker " << options.name << " connecting to "
+            << options.connect << '\n';
+  const dist::Worker::Report report = worker.run();
+  std::cerr << "[campaign] worker " << options.name << " done: "
+            << report.leases_completed << " leases, "
+            << report.items_executed << " items\n";
+  return 0;
+}
+
+/// The classic single-process mode (no verb).
+int run_local(const util::Cli& cli) {
+  {
+    enforce_flags(cli,
+                  {"threads", "shard", "progress", "max-items",
+                   "checkpoint-every", "resume", "trace", "metrics-out",
+                   "metrics-every", "merge-metrics", "store-out",
+                   "store-format", "group", "csv", "json", "merge-stores",
+                   "list", "help"},
+                  "");
     if (cli.has("list")) {
       print_registries();
       return 0;
@@ -363,7 +534,14 @@ int main(int argc, char** argv) {
       return 0;
     }
 
-    const campaign::CampaignSpec spec = spec_from_cli(cli);
+    const campaign::CampaignSpec spec =
+        parse_flags([&cli] { return spec_from_cli(cli); });
+    // Validate the export/execution flag values up front — a bad --group
+    // or --store-format must exit 2 before any compute happens.
+    parse_flags([&cli] {
+      (void)group_from_cli(cli);
+      (void)store_format_from_cli(cli);
+    });
 
     // Merge mode: reassemble shard/checkpoint stores instead of executing.
     if (const std::string list = cli.get("merge-stores", ""); !list.empty()) {
@@ -372,7 +550,7 @@ int main(int argc, char** argv) {
     }
 
     campaign::SubmitOptions options;
-    options.shard = shard_from_cli(cli);
+    options.shard = parse_flags([&cli] { return shard_from_cli(cli); });
 
     // Resume: adopt a previous run's raw store (fingerprint-checked
     // against this invocation's axes) and execute only the gaps.
@@ -393,7 +571,7 @@ int main(int argc, char** argv) {
             0, cli.get_int("checkpoint-every", 0)));
     if (checkpoint_every != 0) {
       if (store_out.empty()) {
-        throw std::invalid_argument(
+        throw UsageError(
             "--checkpoint-every requires --store-out PATH (the checkpoint "
             "target)");
       }
@@ -482,6 +660,31 @@ int main(int argc, char** argv) {
                    "shards with --merge-stores to aggregate\n";
     }
     return 0;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const util::Cli cli(argc, argv);
+    if (cli.has("help")) {
+      print_help();
+      return 0;
+    }
+    const auto& verbs = cli.positional();
+    if (verbs.empty()) return run_local(cli);
+    if (verbs.size() > 1) {
+      throw UsageError("expected one verb, got '" + verbs[0] + "' and '" +
+                       verbs[1] + "'");
+    }
+    if (verbs[0] == "serve") return run_serve(cli);
+    if (verbs[0] == "work") return run_work(cli);
+    throw UsageError("unknown verb '" + verbs[0] +
+                     "' (verbs: serve, work; see --help)");
+  } catch (const UsageError& e) {
+    std::cerr << "campaign: " << e.what() << '\n';
+    return 2;
   } catch (const std::exception& e) {
     std::cerr << "campaign: " << e.what() << '\n';
     return 1;

@@ -537,7 +537,8 @@ ResultStore ColumnarStore::materialize() const {
 
 void ColumnarStore::append_merge(const std::vector<std::string>& inputs,
                                  const std::string& out_path,
-                                 const CampaignSpec& spec) {
+                                 const CampaignSpec& spec,
+                                 const AppendOptions& options) {
   ULPDREAM_TRACE_SPAN("store.append_merge");
   namespace tel = util::telemetry;
   static const tel::Counter appends("store.columnar.appends");
@@ -572,17 +573,20 @@ void ColumnarStore::append_merge(const std::vector<std::string>& inputs,
   // being compacted (append never rewrites sample bytes).
   struct Entry {
     std::uint64_t item;
-    std::uint64_t phys;
+    std::uint64_t phys;   ///< slot rebased onto the concatenated columns
+    std::uint32_t store;  ///< input the slot lives in (canonical copies)
+    std::uint64_t slot;   ///< slot inside that input
     std::uint8_t done;
   };
   std::vector<Entry> entries;
   std::uint64_t n_physical = 0;
-  for (const ColumnarStore& s : stores) {
+  for (std::uint32_t si = 0; si < stores.size(); ++si) {
+    const ColumnarStore& s = stores[si];
     for (std::uint64_t i = 0; i < s.n_index_; ++i) {
       const std::uint64_t item = s.u64_at(s.columns_[0].offset + 8 * i);
       const std::uint64_t slot = s.u64_at(s.columns_[1].offset + 8 * i);
       const std::uint8_t done = s.u8_at(s.columns_[2].offset + slot);
-      entries.push_back(Entry{item, n_physical + slot, done});
+      entries.push_back(Entry{item, n_physical + slot, si, slot, done});
     }
     n_physical += s.n_physical_;
   }
@@ -611,6 +615,14 @@ void ColumnarStore::append_merge(const std::vector<std::string>& inputs,
     }
   }
 
+  if (options.canonical) {
+    // Canonical mode persists done entries only — the same "a save never
+    // writes unexecuted slots" rule as ResultStore::save_columnar, whose
+    // byte layout this mode reproduces exactly.
+    std::erase_if(merged, [](const Entry& e) { return e.done == 0; });
+    n_physical = merged.size();
+  }
+
   const std::string fingerprint = nspec.fingerprint();
   const Layout l = compute_layout(merged.size(), n_physical, pi,
                                   fingerprint.size(), max_snr.size());
@@ -620,27 +632,53 @@ void ColumnarStore::append_merge(const std::vector<std::string>& inputs,
     BufferedFileWriter w(tmp);
     write_header(w, l, fingerprint, max_snr, merged.size(), n_physical, pi);
     for (const Entry& e : merged) w.put_u64(e.item);
-    for (const Entry& e : merged) w.put_u64(e.phys);
-    // Done and sample columns: verbatim concatenation of the inputs'
-    // columns, streamed through a fixed-size copy buffer.
+    if (options.canonical) {
+      for (std::uint64_t i = 0; i < merged.size(); ++i) w.put_u64(i);
+    } else {
+      for (const Entry& e : merged) w.put_u64(e.phys);
+    }
     std::vector<char> copy_buf(1u << 20);
-    const auto copy_column = [&](std::size_t col) {
-      for (const ColumnarStore& s : stores) {
-        std::uint64_t off = s.columns_[col].offset;
-        std::uint64_t left = s.columns_[col].bytes;
-        while (left > 0) {
-          const std::size_t take = static_cast<std::size_t>(
-              std::min<std::uint64_t>(copy_buf.size(), left));
-          s.reader_->read(off, copy_buf.data(), take);
-          w.put_bytes(copy_buf.data(), take);
-          off += take;
-          left -= take;
+    if (options.canonical) {
+      // Slots rewritten in sorted item order: the done column is all
+      // ones and each entry's sample row is gathered from its source
+      // store — one pi-wide row read per entry per field column, still
+      // never decoding a sample.
+      for (std::uint64_t i = 0; i < merged.size(); ++i) {
+        const std::uint8_t done = 1;
+        w.put_bytes(&done, 1);
+      }
+      w.pad_to(l.column_offset[2] + align8(l.column_bytes[2]));
+      const std::size_t row_bytes = static_cast<std::size_t>(8 * pi);
+      copy_buf.resize(row_bytes);
+      for (std::size_t f = 0; f < 8; ++f) {
+        for (const Entry& e : merged) {
+          const ColumnarStore& s = stores[e.store];
+          s.reader_->read(s.columns_[3 + f].offset + e.slot * row_bytes,
+                          copy_buf.data(), row_bytes);
+          w.put_bytes(copy_buf.data(), row_bytes);
         }
       }
-    };
-    copy_column(2);
-    w.pad_to(l.column_offset[2] + align8(l.column_bytes[2]));
-    for (std::size_t f = 0; f < 8; ++f) copy_column(3 + f);
+    } else {
+      // Done and sample columns: verbatim concatenation of the inputs'
+      // columns, streamed through a fixed-size copy buffer.
+      const auto copy_column = [&](std::size_t col) {
+        for (const ColumnarStore& s : stores) {
+          std::uint64_t off = s.columns_[col].offset;
+          std::uint64_t left = s.columns_[col].bytes;
+          while (left > 0) {
+            const std::size_t take = static_cast<std::size_t>(
+                std::min<std::uint64_t>(copy_buf.size(), left));
+            s.reader_->read(off, copy_buf.data(), take);
+            w.put_bytes(copy_buf.data(), take);
+            off += take;
+            left -= take;
+          }
+        }
+      };
+      copy_column(2);
+      w.pad_to(l.column_offset[2] + align8(l.column_bytes[2]));
+      for (std::size_t f = 0; f < 8; ++f) copy_column(3 + f);
+    }
     if (w.written() != l.file_bytes) {
       throw StoreError(tmp, "internal layout mismatch while appending");
     }

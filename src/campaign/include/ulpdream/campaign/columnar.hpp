@@ -137,15 +137,34 @@ class ColumnarStore {
   /// merge). Deliberately the only operation that materializes samples.
   [[nodiscard]] ResultStore materialize() const;
 
+  struct AppendOptions {
+    /// Verbatim (default): sample bytes are concatenated where they
+    /// landed and only the index is re-sorted — O(total bytes)
+    /// sequential I/O, duplicate slots stay in the file unreferenced.
+    /// Canonical: physical slots are rewritten in sorted item order and
+    /// unreferenced duplicates dropped, so the output is byte-identical
+    /// to a single-process ResultStore::save_columnar of the same data —
+    /// the distributed coordinator's proof obligation (CI byte-compares
+    /// its merged store against the single-process run). Both stream
+    /// through fixed-size buffers; memory stays O(index) either way.
+    bool canonical = false;
+  };
+
   /// Folds shard files by append: validates every input against `spec`,
-  /// concatenates their done/sample columns verbatim (sequential chunked
-  /// copy — sample bytes are never decoded or rewritten), merges the
-  /// sorted index runs (first done occurrence of a duplicated item wins,
+  /// copies their done/sample columns (verbatim or canonically reordered
+  /// per `options` — sample bytes are never decoded), merges the sorted
+  /// index runs (first done occurrence of a duplicated item wins,
   /// matching ResultStore::merge), and atomically publishes `out_path`.
   /// Memory scales with the merged index, never with the sample data.
   static void append_merge(const std::vector<std::string>& inputs,
                            const std::string& out_path,
-                           const CampaignSpec& spec);
+                           const CampaignSpec& spec,
+                           const AppendOptions& options);
+  static void append_merge(const std::vector<std::string>& inputs,
+                           const std::string& out_path,
+                           const CampaignSpec& spec) {
+    append_merge(inputs, out_path, spec, AppendOptions{});
+  }
 
  private:
   ColumnarStore() = default;

@@ -77,9 +77,24 @@ struct Progress {
 /// receives the job's own handle — calling handle.cancel() there is the
 /// idiomatic, race-free "stop after N items" — but callbacks must not
 /// block on the handle (wait()/try_result()).
+/// A contiguous slice [begin, end) of the canonical item expansion — the
+/// unit of distributed work leasing (dist::Coordinator grants these).
+struct ItemRange {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+
+  [[nodiscard]] std::size_t size() const noexcept { return end - begin; }
+};
+
 struct SubmitOptions {
   /// Slice of the grid this submission executes (default: all of it).
   Shard shard{};
+  /// When set, execute exactly the contiguous items [begin, end) instead
+  /// of a strided shard (mutually exclusive with a non-default `shard`;
+  /// submit() throws when both are given). The store is preallocated
+  /// over the range, so worker memory scales with the lease, never the
+  /// grid.
+  std::optional<ItemRange> item_range;
   /// Completed store of a previous (interrupted) run of the *same* spec:
   /// its recorded items are adopted verbatim and only the missing ones
   /// run. A fingerprint mismatch (axes + seed) throws immediately.

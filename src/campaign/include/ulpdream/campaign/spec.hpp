@@ -92,6 +92,14 @@ struct WorkItem {
                                                  std::size_t shard_index,
                                                  std::size_t shard_count);
 
+/// The contiguous slice [begin, end) of the expansion — the shape of a
+/// distributed work lease (dist::Coordinator grants ranges, not strided
+/// shards). Throws std::invalid_argument when the range falls outside
+/// the grid or is empty.
+[[nodiscard]] std::vector<WorkItem> expand_range(const CampaignSpec& spec,
+                                                 std::size_t begin,
+                                                 std::size_t end);
+
 /// Axis-list parsers for CLI drivers. Each accepts a comma-separated list
 /// of registry names, or "paper" (the paper's evaluated set) or "all"
 /// (every registered name, including user registrations). Throws

@@ -258,8 +258,19 @@ CampaignHandle Session::submit(const CampaignSpec& base_spec,
   job->on_item = std::move(options.on_item);
   job->on_checkpoint = std::move(options.on_checkpoint);
 
-  const std::vector<WorkItem> shard_items =
-      expand_shard(job->spec, options.shard.index, options.shard.count);
+  std::vector<WorkItem> shard_items;
+  if (options.item_range.has_value()) {
+    if (options.shard.index != 0 || options.shard.count != 1) {
+      throw std::invalid_argument(
+          "Session::submit: item_range and a non-default shard are "
+          "mutually exclusive");
+    }
+    shard_items = expand_range(job->spec, options.item_range->begin,
+                               options.item_range->end);
+  } else {
+    shard_items =
+        expand_shard(job->spec, options.shard.index, options.shard.count);
+  }
   job->shard_total = shard_items.size();
 
   // Sparse shard store over exactly this slice; a resume store's recorded

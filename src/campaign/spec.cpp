@@ -164,6 +164,28 @@ std::vector<WorkItem> expand_shard(const CampaignSpec& spec,
   return mine;
 }
 
+std::vector<WorkItem> expand_range(const CampaignSpec& spec,
+                                   std::size_t begin, std::size_t end) {
+  if (begin >= end || end > spec.item_count()) {
+    throw std::invalid_argument(
+        "expand_range: need begin < end <= item_count() (got [" +
+        std::to_string(begin) + ", " + std::to_string(end) + ") of " +
+        std::to_string(spec.item_count()) + " items)");
+  }
+  // Same per-item derivation as expand(), evaluated only on the slice —
+  // a lease's items are bit-identical to the full expansion's.
+  const std::size_t n_v = spec.voltages.size();
+  const std::size_t reps = spec.repetitions;
+  std::vector<WorkItem> items;
+  items.reserve(end - begin);
+  for (std::size_t index = begin; index < end; ++index) {
+    const std::size_t cell = index / reps;
+    items.push_back(WorkItem{index, cell / n_v, cell % n_v, index % reps,
+                             util::mix64(spec.seed, index)});
+  }
+  return items;
+}
+
 std::vector<std::string> parse_app_list(const std::string& list) {
   if (list == "paper") return apps::paper_app_names();
   if (list == "all") return apps::app_names();

@@ -1,0 +1,73 @@
+#pragma once
+// In-process worker for deterministic dist tests: speaks the exact wire
+// protocol over one end of a socketpair the Coordinator adopt()s — same
+// bytes as a TCP worker, no listener, no child process — and executes
+// leases for real through a campaign::Session, so a test's merged store
+// carries true sample data. Fault injection is the point: a FakeWorker
+// can present a wrong fingerprint or protocol version (handshake-reject
+// paths), vanish mid-lease without executing (revocation/re-lease), or
+// vanish after N completed leases (death between leases), all without
+// sleeping on real timeouts.
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <thread>
+
+#include "ulpdream/campaign/spec.hpp"
+#include "ulpdream/dist/coordinator.hpp"
+#include "ulpdream/dist/worker.hpp"
+
+namespace ulpdream::dist {
+
+class FakeWorker {
+ public:
+  struct Options {
+    std::string name = "fake";
+    unsigned threads = 2;
+    /// Complete this many leases, then drop the socket without a
+    /// Goodbye (death between leases). Default: run to completion.
+    std::size_t die_after_leases = std::numeric_limits<std::size_t>::max();
+    /// Accept one grant, then drop the socket without executing it
+    /// (death mid-lease; the coordinator must revoke and re-lease).
+    bool die_mid_lease = false;
+    /// Non-empty: HELLO carries this instead of the spec's fingerprint
+    /// (the handshake must reject, quoting both).
+    std::string fingerprint_override;
+    /// HELLO protocol version (the default is the real one).
+    std::uint32_t version = 0;
+  };
+
+  /// Builds the socketpair, hands the far end to `coordinator` and
+  /// starts the worker loop on its own thread.
+  FakeWorker(campaign::CampaignSpec spec, Coordinator& coordinator,
+             Options options);
+  FakeWorker(campaign::CampaignSpec spec, Coordinator& coordinator)
+      : FakeWorker(std::move(spec), coordinator, Options{}) {}
+  ~FakeWorker();
+
+  FakeWorker(const FakeWorker&) = delete;
+  FakeWorker& operator=(const FakeWorker&) = delete;
+
+  /// Waits for the loop to finish (idempotent).
+  void join();
+
+  /// Valid after join(). error() is empty for a clean run, otherwise the
+  /// exception text (a HelloReject surfaces its quoted reason here).
+  [[nodiscard]] const Worker::Report& report() const noexcept {
+    return report_;
+  }
+  [[nodiscard]] const std::string& error() const noexcept { return error_; }
+
+ private:
+  void loop(util::Socket socket);
+
+  campaign::CampaignSpec spec_;
+  Options options_;
+  Worker::Report report_;
+  std::string error_;
+  std::thread thread_;
+};
+
+}  // namespace ulpdream::dist

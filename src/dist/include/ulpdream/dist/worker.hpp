@@ -1,0 +1,70 @@
+#pragma once
+// Campaign worker: connects to a coordinator, validates the campaign
+// fingerprint in its HELLO, then loops — lease a range, execute it
+// through campaign::Session::submit (item_range), ship the completed
+// range back as a columnar store file's bytes, repeat — until the
+// coordinator says the campaign is done. While a lease executes, the
+// worker heartbeats from its main thread (the Session's pool does the
+// computing), renewing the lease so a healthy-but-slow worker is never
+// mistaken for a dead one.
+//
+// Crash insurance is local and optional: with checkpoint_dir set, the
+// in-progress lease store is checkpointed to disk every
+// checkpoint_every items; a relaunched worker does not resume those
+// (the coordinator simply re-leases), but the bytes survive for
+// forensic or manual-merge use.
+//
+// Determinism: every item's RNG stream is keyed on (spec.seed,
+// item.index) only, so the union of any lease split is bit-identical to
+// the single-process run — the property the coordinator's canonical
+// merge turns into byte-equal store files.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "ulpdream/campaign/session.hpp"
+#include "ulpdream/campaign/spec.hpp"
+#include "ulpdream/util/socket.hpp"
+
+namespace ulpdream::dist {
+
+class Worker {
+ public:
+  struct Options {
+    /// Coordinator endpoint ("host:port" or "unix:/path").
+    std::string connect;
+    /// Human label for logs and coordinator-side telemetry.
+    std::string name = "worker";
+    /// Session threads (0 = hardware concurrency).
+    unsigned threads = 0;
+    /// Periodic local checkpoints of the in-progress lease store (empty =
+    /// off). Files land as <dir>/<name>_lease_<id>.ulpdcol.
+    std::string checkpoint_dir;
+    /// Checkpoint cadence in items (only with checkpoint_dir).
+    std::size_t checkpoint_every = 0;
+  };
+
+  struct Report {
+    std::size_t leases_completed = 0;
+    std::size_t items_executed = 0;
+  };
+
+  Worker(campaign::CampaignSpec spec, Options options);
+
+  /// Connects, handshakes and works until the coordinator reports the
+  /// campaign done (then ships this session's metrics snapshot and says
+  /// Goodbye). Throws SocketError/ProtocolError on transport failure and
+  /// std::runtime_error quoting the coordinator's reason on HelloReject.
+  Report run();
+
+  /// Same loop over an already-connected socket — the socketpair /
+  /// FakeWorker path (no Options::connect needed).
+  Report run_on(util::Socket socket);
+
+ private:
+  campaign::CampaignSpec spec_;
+  Options options_;
+};
+
+}  // namespace ulpdream::dist

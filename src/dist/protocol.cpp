@@ -1,0 +1,335 @@
+#include "ulpdream/dist/protocol.hpp"
+
+#include <cstring>
+
+#include "ulpdream/util/telemetry.hpp"
+
+namespace ulpdream::dist {
+
+namespace {
+
+/// Little-endian payload writer (append-only vector).
+class PayloadWriter {
+ public:
+  void put_u8(std::uint8_t v) { bytes_.push_back(v); }
+  void put_u32(std::uint32_t v) { put_pod(v); }
+  void put_u64(std::uint64_t v) { put_pod(v); }
+  void put_string(const std::string& s) {
+    put_u32(static_cast<std::uint32_t>(s.size()));
+    bytes_.insert(bytes_.end(), s.begin(), s.end());
+  }
+  void put_blob(const std::vector<std::uint8_t>& b) {
+    put_u64(b.size());
+    bytes_.insert(bytes_.end(), b.begin(), b.end());
+  }
+
+  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const noexcept {
+    return bytes_;
+  }
+
+ private:
+  template <typename T>
+  void put_pod(T v) {
+    const auto* p = reinterpret_cast<const std::uint8_t*>(&v);
+    bytes_.insert(bytes_.end(), p, p + sizeof(T));
+  }
+  std::vector<std::uint8_t> bytes_;
+};
+
+/// Bounds-checked payload reader; every failure names the peer, the
+/// message and the field being decoded.
+class PayloadReader {
+ public:
+  PayloadReader(const util::Frame& frame, std::string peer, const char* msg)
+      : bytes_(frame.payload), peer_(std::move(peer)), msg_(msg) {}
+
+  std::uint8_t get_u8(const char* field) { return get_pod<std::uint8_t>(field); }
+  std::uint32_t get_u32(const char* field) {
+    return get_pod<std::uint32_t>(field);
+  }
+  std::uint64_t get_u64(const char* field) {
+    return get_pod<std::uint64_t>(field);
+  }
+  std::string get_string(const char* field) {
+    const std::uint32_t len = get_u32(field);
+    need(len, field);
+    std::string out(reinterpret_cast<const char*>(bytes_.data() + pos_),
+                    len);
+    pos_ += len;
+    return out;
+  }
+  std::vector<std::uint8_t> get_blob(const char* field) {
+    const std::uint64_t len = get_u64(field);
+    need(len, field);
+    std::vector<std::uint8_t> out(bytes_.begin() + static_cast<long>(pos_),
+                                  bytes_.begin() +
+                                      static_cast<long>(pos_ + len));
+    pos_ += static_cast<std::size_t>(len);
+    return out;
+  }
+
+  /// Rejects trailing bytes — a payload longer than the message is as
+  /// malformed as a short one (it will desynchronize nothing, but it
+  /// means the peer and we disagree about the message shape).
+  void finish() const {
+    if (pos_ != bytes_.size()) {
+      throw ProtocolError(peer_, std::string("malformed ") + msg_ + ": " +
+                                     std::to_string(bytes_.size() - pos_) +
+                                     " trailing bytes after the last field");
+    }
+  }
+
+ private:
+  void need(std::uint64_t len, const char* field) const {
+    if (len > bytes_.size() - pos_) {
+      throw ProtocolError(peer_, std::string("malformed ") + msg_ +
+                                     ": truncated field '" + field + "' (" +
+                                     std::to_string(len) + " bytes claimed, " +
+                                     std::to_string(bytes_.size() - pos_) +
+                                     " available)");
+    }
+  }
+  template <typename T>
+  T get_pod(const char* field) {
+    need(sizeof(T), field);
+    T v;
+    std::memcpy(&v, bytes_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  const std::vector<std::uint8_t>& bytes_;
+  std::size_t pos_ = 0;
+  std::string peer_;
+  const char* msg_;
+};
+
+void send_frame(util::Socket& socket, MsgType type,
+                const PayloadWriter& payload) {
+  static const util::telemetry::Counter frames("dist.frames_sent");
+  static const util::telemetry::Counter bytes("dist.frames_sent_bytes");
+  util::write_frame(socket, static_cast<std::uint32_t>(type),
+                    payload.bytes());
+  frames.add();
+  bytes.add(util::kFrameHeaderBytes + payload.bytes().size());
+}
+
+/// Opens a reader after asserting the frame really is `type` — decoding
+/// a LeaseGrant out of a Metrics frame must fail by name, not by field.
+PayloadReader open(const util::Frame& frame, const std::string& peer,
+                   MsgType type) {
+  if (frame.type != static_cast<std::uint32_t>(type)) {
+    throw ProtocolError(
+        peer, std::string("expected ") + to_string(type) + " frame, got " +
+                  to_string(static_cast<MsgType>(frame.type)) + " (type " +
+                  std::to_string(frame.type) + ")");
+  }
+  return PayloadReader(frame, peer, to_string(type));
+}
+
+}  // namespace
+
+const char* to_string(MsgType type) noexcept {
+  switch (type) {
+    case MsgType::kHello: return "Hello";
+    case MsgType::kHelloOk: return "HelloOk";
+    case MsgType::kHelloReject: return "HelloReject";
+    case MsgType::kLeaseRequest: return "LeaseRequest";
+    case MsgType::kLeaseGrant: return "LeaseGrant";
+    case MsgType::kNoWork: return "NoWork";
+    case MsgType::kLeaseResult: return "LeaseResult";
+    case MsgType::kResultAck: return "ResultAck";
+    case MsgType::kHeartbeat: return "Heartbeat";
+    case MsgType::kHeartbeatAck: return "HeartbeatAck";
+    case MsgType::kMetrics: return "Metrics";
+    case MsgType::kGoodbye: return "Goodbye";
+  }
+  return "unknown";
+}
+
+void send(util::Socket& socket, const Hello& m) {
+  PayloadWriter w;
+  w.put_u32(m.version);
+  w.put_string(m.fingerprint);
+  w.put_string(m.worker_name);
+  send_frame(socket, MsgType::kHello, w);
+}
+
+void send(util::Socket& socket, const HelloOk& m) {
+  PayloadWriter w;
+  w.put_u64(m.item_count);
+  w.put_u64(m.lease_items);
+  w.put_u64(m.heartbeat_ms);
+  send_frame(socket, MsgType::kHelloOk, w);
+}
+
+void send(util::Socket& socket, const HelloReject& m) {
+  PayloadWriter w;
+  w.put_string(m.reason);
+  send_frame(socket, MsgType::kHelloReject, w);
+}
+
+void send(util::Socket& socket, const LeaseRequest&) {
+  send_frame(socket, MsgType::kLeaseRequest, PayloadWriter());
+}
+
+void send(util::Socket& socket, const LeaseGrant& m) {
+  PayloadWriter w;
+  w.put_u64(m.lease_id);
+  w.put_u64(m.begin);
+  w.put_u64(m.end);
+  send_frame(socket, MsgType::kLeaseGrant, w);
+}
+
+void send(util::Socket& socket, const NoWork& m) {
+  PayloadWriter w;
+  w.put_u8(m.campaign_done ? 1 : 0);
+  w.put_u64(m.retry_ms);
+  send_frame(socket, MsgType::kNoWork, w);
+}
+
+void send(util::Socket& socket, const LeaseResult& m) {
+  PayloadWriter w;
+  w.put_u64(m.lease_id);
+  w.put_blob(m.store_bytes);
+  send_frame(socket, MsgType::kLeaseResult, w);
+}
+
+void send(util::Socket& socket, const ResultAck& m) {
+  PayloadWriter w;
+  w.put_u64(m.lease_id);
+  send_frame(socket, MsgType::kResultAck, w);
+}
+
+void send(util::Socket& socket, const Heartbeat& m) {
+  PayloadWriter w;
+  w.put_u64(m.lease_id);
+  send_frame(socket, MsgType::kHeartbeat, w);
+}
+
+void send(util::Socket& socket, const HeartbeatAck& m) {
+  PayloadWriter w;
+  w.put_u64(m.lease_id);
+  send_frame(socket, MsgType::kHeartbeatAck, w);
+}
+
+void send(util::Socket& socket, const Metrics& m) {
+  PayloadWriter w;
+  w.put_string(m.json);
+  send_frame(socket, MsgType::kMetrics, w);
+}
+
+void send(util::Socket& socket, const Goodbye&) {
+  send_frame(socket, MsgType::kGoodbye, PayloadWriter());
+}
+
+Hello decode_hello(const util::Frame& frame, const std::string& peer) {
+  PayloadReader r = open(frame, peer, MsgType::kHello);
+  Hello m;
+  m.version = r.get_u32("version");
+  m.fingerprint = r.get_string("fingerprint");
+  m.worker_name = r.get_string("worker_name");
+  r.finish();
+  return m;
+}
+
+HelloOk decode_hello_ok(const util::Frame& frame, const std::string& peer) {
+  PayloadReader r = open(frame, peer, MsgType::kHelloOk);
+  HelloOk m;
+  m.item_count = r.get_u64("item_count");
+  m.lease_items = r.get_u64("lease_items");
+  m.heartbeat_ms = r.get_u64("heartbeat_ms");
+  r.finish();
+  return m;
+}
+
+HelloReject decode_hello_reject(const util::Frame& frame,
+                                const std::string& peer) {
+  PayloadReader r = open(frame, peer, MsgType::kHelloReject);
+  HelloReject m;
+  m.reason = r.get_string("reason");
+  r.finish();
+  return m;
+}
+
+LeaseGrant decode_lease_grant(const util::Frame& frame,
+                              const std::string& peer) {
+  PayloadReader r = open(frame, peer, MsgType::kLeaseGrant);
+  LeaseGrant m;
+  m.lease_id = r.get_u64("lease_id");
+  m.begin = r.get_u64("begin");
+  m.end = r.get_u64("end");
+  r.finish();
+  if (m.begin >= m.end) {
+    throw ProtocolError(peer, "malformed LeaseGrant: empty range [" +
+                                  std::to_string(m.begin) + ", " +
+                                  std::to_string(m.end) + ")");
+  }
+  return m;
+}
+
+NoWork decode_no_work(const util::Frame& frame, const std::string& peer) {
+  PayloadReader r = open(frame, peer, MsgType::kNoWork);
+  NoWork m;
+  m.campaign_done = r.get_u8("campaign_done") != 0;
+  m.retry_ms = r.get_u64("retry_ms");
+  r.finish();
+  return m;
+}
+
+LeaseResult decode_lease_result(const util::Frame& frame,
+                                const std::string& peer) {
+  PayloadReader r = open(frame, peer, MsgType::kLeaseResult);
+  LeaseResult m;
+  m.lease_id = r.get_u64("lease_id");
+  m.store_bytes = r.get_blob("store_bytes");
+  r.finish();
+  return m;
+}
+
+ResultAck decode_result_ack(const util::Frame& frame,
+                            const std::string& peer) {
+  PayloadReader r = open(frame, peer, MsgType::kResultAck);
+  ResultAck m;
+  m.lease_id = r.get_u64("lease_id");
+  r.finish();
+  return m;
+}
+
+Heartbeat decode_heartbeat(const util::Frame& frame,
+                           const std::string& peer) {
+  PayloadReader r = open(frame, peer, MsgType::kHeartbeat);
+  Heartbeat m;
+  m.lease_id = r.get_u64("lease_id");
+  r.finish();
+  return m;
+}
+
+HeartbeatAck decode_heartbeat_ack(const util::Frame& frame,
+                                  const std::string& peer) {
+  PayloadReader r = open(frame, peer, MsgType::kHeartbeatAck);
+  HeartbeatAck m;
+  m.lease_id = r.get_u64("lease_id");
+  r.finish();
+  return m;
+}
+
+Metrics decode_metrics(const util::Frame& frame, const std::string& peer) {
+  PayloadReader r = open(frame, peer, MsgType::kMetrics);
+  Metrics m;
+  m.json = r.get_string("json");
+  r.finish();
+  return m;
+}
+
+bool receive(util::Socket& socket, util::Frame& out,
+             std::size_t max_payload) {
+  static const util::telemetry::Counter frames("dist.frames_received");
+  static const util::telemetry::Counter bytes("dist.frames_received_bytes");
+  if (!util::read_frame(socket, out, max_payload)) return false;
+  frames.add();
+  bytes.add(util::kFrameHeaderBytes + out.payload.size());
+  return true;
+}
+
+}  // namespace ulpdream::dist

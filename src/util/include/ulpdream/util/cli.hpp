@@ -30,6 +30,15 @@ class Cli {
     return positional_;
   }
 
+  /// Every --key the user gave, sorted — drivers that enforce a flag
+  /// allowlist iterate this to name the offending flag exactly.
+  [[nodiscard]] std::vector<std::string> keys() const {
+    std::vector<std::string> out;
+    out.reserve(values_.size());
+    for (const auto& [key, value] : values_) out.push_back(key);
+    return out;
+  }
+
   [[nodiscard]] const std::string& program() const noexcept {
     return program_;
   }

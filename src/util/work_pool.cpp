@@ -32,6 +32,7 @@ struct WorkPool::State {
   std::condition_variable done_cv;  ///< waiters: some job finished
   std::deque<std::shared_ptr<Job>> jobs;  ///< unfinished jobs, FIFO
   unsigned threads = 1;
+  unsigned parked = 0;  ///< workers blocked in work_cv.wait (no busy poll)
   bool stop = false;
 
   /// True when `job` can hand out another index.
@@ -61,6 +62,15 @@ struct WorkPool::State {
   /// Unfinished jobs currently queued on the pool.
   static const telemetry::Gauge& queue_depth() {
     static const telemetry::Gauge gauge("workpool.jobs_queued");
+    return gauge;
+  }
+
+  /// Workers currently parked on the condition variable — the proof the
+  /// idle path blocks in the kernel instead of spinning (a full pool at
+  /// rest reads threads here and burns no measurable CPU; see
+  /// WorkPool.IdleWorkersParkWithoutBurningCpu).
+  static const telemetry::Gauge& parked_workers() {
+    static const telemetry::Gauge gauge("workpool.parked_workers");
     return gauge;
   }
 };
@@ -209,7 +219,11 @@ void WorkPool::worker_main(unsigned worker_id) {
     }
     if (!job) {
       if (state_->stop) return;
+      ++state_->parked;
+      State::parked_workers().set(static_cast<double>(state_->parked));
       state_->work_cv.wait(lock);
+      --state_->parked;
+      State::parked_workers().set(static_cast<double>(state_->parked));
       continue;
     }
     const std::size_t index = job->next_++;

@@ -1,0 +1,57 @@
+#!/usr/bin/env sh
+# Exit-code discipline of the campaign CLI, pinned for scripts and CI:
+#   0  success (--help, --list, a completed run)
+#   2  usage error naming the offender (unknown flag/verb, missing
+#      required flag, unparseable value) — "fix your invocation"
+#   1  runtime failure (bad input file, socket error) — "fix your world"
+# Usage: cli_smoke.sh /path/to/campaign
+set -u
+
+bin=${1:?usage: cli_smoke.sh /path/to/campaign}
+fails=0
+
+# expect <exit-code> <stderr-substring|-> <args...>
+expect() {
+    want=$1
+    needle=$2
+    shift 2
+    err=$("$bin" "$@" 2>&1 >/dev/null)
+    got=$?
+    if [ "$got" -ne "$want" ]; then
+        echo "FAIL: campaign $* -> exit $got, want $want" >&2
+        echo "      stderr: $err" >&2
+        fails=$((fails + 1))
+    elif [ "$needle" != "-" ] && ! printf '%s' "$err" | grep -qF -e "$needle"; then
+        echo "FAIL: campaign $* stderr lacks '$needle'" >&2
+        echo "      stderr: $err" >&2
+        fails=$((fails + 1))
+    else
+        echo "ok: campaign $* -> exit $got"
+    fi
+}
+
+# Success paths.
+expect 0 - --help
+expect 0 - --list
+
+# Usage errors (exit 2) must name the offender.
+expect 2 '--bogus-flag' --bogus-flag=1
+expect 2 'frobnicate' frobnicate
+expect 2 '--listen' serve
+expect 2 '--connect' work
+expect 2 '--shard' work --connect=unix:/tmp/nowhere.sock --shard=0/2
+expect 2 '--progress' serve --progress=1 --listen=unix:/tmp/nowhere.sock \
+    --spool-dir=/tmp --store-out=/tmp/x.ulpdcol
+expect 2 'step' --step=0 --max-items=1
+expect 2 '--checkpoint-every' --checkpoint-every=4 --max-items=1
+
+# Runtime failures (exit 1): a well-formed invocation against a broken
+# world.
+expect 1 - --resume=/nonexistent/resume.bin --max-items=1
+expect 1 - work --connect=unix:/nonexistent/coordinator.sock
+
+if [ "$fails" -ne 0 ]; then
+    echo "$fails CLI smoke check(s) failed" >&2
+    exit 1
+fi
+echo "all CLI smoke checks passed"

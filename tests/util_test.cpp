@@ -1,4 +1,5 @@
 #include <gtest/gtest.h>
+#include <sys/resource.h>
 
 #include <atomic>
 #include <chrono>
@@ -12,6 +13,7 @@
 #include "ulpdream/util/rng.hpp"
 #include "ulpdream/util/stats.hpp"
 #include "ulpdream/util/table.hpp"
+#include "ulpdream/util/telemetry.hpp"
 #include "ulpdream/util/work_pool.hpp"
 
 namespace ulpdream::util {
@@ -386,6 +388,60 @@ TEST(WorkPool, HandlesStayValidAfterThePoolIsDestroyed) {
   }
   job->wait();
   EXPECT_TRUE(job->finished());
+}
+
+TEST(WorkPool, IdleWorkersParkWithoutBurningCpu) {
+  constexpr unsigned kThreads = 4;
+  WorkPool pool(kThreads);
+  // Exercise the pool once so every worker has claimed work and settled
+  // back into the idle path before we start measuring.
+  pool.run(2 * kThreads, [] { return [](std::size_t) {}; });
+
+  const auto parked = [] {
+    const auto gauges = telemetry::snapshot().gauges;
+    const auto it = gauges.find("workpool.parked_workers");
+    return it == gauges.end() ? 0.0 : it->second;
+  };
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (parked() < kThreads && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(parked(), static_cast<double>(kThreads));
+
+  // Over an idle window, workers must block in the kernel — no busy time
+  // accrues and the whole process burns far less CPU than wall clock (a
+  // single spinning worker alone would burn ~1x wall).
+  const std::uint64_t busy_before =
+      telemetry::snapshot().counters["workpool.busy_ns"];
+  rusage usage_before{};
+  ASSERT_EQ(getrusage(RUSAGE_SELF, &usage_before), 0);
+  constexpr auto kWindow = std::chrono::milliseconds(300);
+  std::this_thread::sleep_for(kWindow);
+  rusage usage_after{};
+  ASSERT_EQ(getrusage(RUSAGE_SELF, &usage_after), 0);
+  const std::uint64_t busy_after =
+      telemetry::snapshot().counters["workpool.busy_ns"];
+
+  EXPECT_EQ(busy_after, busy_before) << "workers ran work while pool idle";
+  const auto cpu_us = [](const timeval& tv) {
+    return static_cast<std::int64_t>(tv.tv_sec) * 1'000'000 + tv.tv_usec;
+  };
+  const std::int64_t cpu_delta_us =
+      (cpu_us(usage_after.ru_utime) + cpu_us(usage_after.ru_stime)) -
+      (cpu_us(usage_before.ru_utime) + cpu_us(usage_before.ru_stime));
+  const std::int64_t wall_us =
+      std::chrono::duration_cast<std::chrono::microseconds>(kWindow).count();
+  EXPECT_LT(cpu_delta_us, wall_us / 2)
+      << "idle pool burned " << cpu_delta_us << "us CPU over a " << wall_us
+      << "us window — workers are spinning, not parked";
+
+  // Parked workers must still wake for fresh work.
+  std::atomic<int> ran{0};
+  pool.run(kThreads, [&] {
+    return [&](std::size_t) { ++ran; };
+  });
+  EXPECT_EQ(ran.load(), static_cast<int>(kThreads));
 }
 
 TEST(WorkPool, ParallelForIndexWrapperMatchesInlineExecution) {
