@@ -23,8 +23,10 @@
 //            --csv merged.csv
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cmath>
+#include <csignal>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -36,6 +38,8 @@
 #include "ulpdream/campaign/store_reader.hpp"
 #include "ulpdream/dist/coordinator.hpp"
 #include "ulpdream/dist/worker.hpp"
+#include "ulpdream/serve/client.hpp"
+#include "ulpdream/serve/daemon.hpp"
 #include "ulpdream/util/cli.hpp"
 #include "ulpdream/util/log.hpp"
 #include "ulpdream/util/table.hpp"
@@ -103,6 +107,10 @@ Usage:
                               ingest their columnar shards, publish the
                               merged store)
   campaign work [--flags]     execute leases for a coordinator
+  campaign daemon [--flags]   answer spec queries from a warm session
+                              plus a persistent result cache
+  campaign query [--flags]    ask a daemon for a grid (cached answers
+                              return without recomputing anything)
 
 Exit codes: 0 success; 1 runtime failure; 2 usage error (unknown flag or
 verb, missing required flag, bad flag value — the message names it).
@@ -179,7 +187,28 @@ Distributed (campaign work):
                        regardless)
   --checkpoint-every N checkpoint cadence in items (with --checkpoint-dir)
 
-Both verbs take the same grid-axis flags as a local run; the worker's
+Query daemon (campaign daemon; see README "Query daemon"):
+  --listen EP          endpoint to serve on: HOST:PORT (port 0 picks an
+                       ephemeral port, printed on stderr) or unix:/path
+  --cache-dir DIR      persistent result cache directory (required);
+                       a restarted daemon rehydrates its warm set here
+  --cache-budget-mb N  LRU byte budget for cached stores        [256]
+  --threads N          session pool workers; 0 = all hardware   [0]
+  --progress-every-ms N  Progress-frame cadence while executing [250]
+  --metrics-out PATH   write the daemon's MetricsSnapshot JSON after the
+                       graceful SIGTERM/SIGINT drain
+
+Query client (campaign query) — grid-axis flags pick the grid, the
+daemon executes (or answers warm) and aggregates:
+  --connect EP         daemon endpoint (required)
+  --group/--csv/--json as in a local run (grouping happens daemon-side)
+  --store-out PATH     save the returned columnar store verbatim —
+                       byte-identical to a local columnar save of the
+                       same grid
+  --progress           live progress line from streamed Progress frames
+                       (an exact cache hit prints none)
+
+The serve/work verbs take the same grid-axis flags as a local run; the worker's
 HELLO carries the grid fingerprint and the coordinator rejects a
 mismatch quoting both, so a serve/work pair can never silently compute
 different campaigns.
@@ -501,6 +530,115 @@ int run_work(const util::Cli& cli) {
   return 0;
 }
 
+/// The daemon being served by this process, for the signal handlers.
+/// request_stop() is async-signal-safe (one self-pipe write).
+std::atomic<serve::Daemon*> g_daemon{nullptr};
+
+void handle_stop_signal(int) {
+  if (serve::Daemon* daemon = g_daemon.load()) daemon->request_stop();
+}
+
+/// `campaign daemon`: answer spec queries from a warm session + cache.
+int run_daemon(const util::Cli& cli) {
+  enforce_flags(cli,
+                {"listen", "cache-dir", "cache-budget-mb", "threads",
+                 "progress-every-ms", "metrics-out", "help"},
+                "daemon");
+  serve::Daemon::Options options;
+  options.listen = cli.get("listen", "");
+  if (options.listen.empty()) {
+    throw UsageError(
+        "campaign daemon requires --listen HOST:PORT or --listen unix:/path");
+  }
+  options.cache_dir = cli.get("cache-dir", "");
+  if (options.cache_dir.empty()) {
+    throw UsageError(
+        "campaign daemon requires --cache-dir DIR (the persistent result "
+        "cache)");
+  }
+  options.cache_budget_bytes = static_cast<std::uint64_t>(std::max<
+      std::int64_t>(1, cli.get_int("cache-budget-mb", 256))) << 20;
+  options.threads = static_cast<unsigned>(
+      std::max<std::int64_t>(0, cli.get_int("threads", 0)));
+  options.progress_every_ms = static_cast<std::size_t>(
+      std::max<std::int64_t>(1, cli.get_int("progress-every-ms", 250)));
+  const std::string metrics_out = cli.get("metrics-out", "");
+  if (!metrics_out.empty()) util::telemetry::set_hot_timing(true);
+
+  serve::Daemon daemon(options);
+  g_daemon.store(&daemon);
+  std::signal(SIGTERM, handle_stop_signal);
+  std::signal(SIGINT, handle_stop_signal);
+  std::cerr << "[campaign] query daemon on " << daemon.endpoint()
+            << " (cache " << daemon.cache().dir() << ": "
+            << daemon.cache().entries() << " warm entries, "
+            << daemon.cache().bytes() << " bytes)\n";
+
+  const serve::Daemon::Report report = daemon.run();
+  g_daemon.store(nullptr);
+  std::cerr << "[campaign] daemon drained: " << report.clients
+            << " clients, " << report.queries << " queries ("
+            << report.cache_hits << " hits, " << report.gap_fills
+            << " gap-fills, " << report.cold_runs << " cold, "
+            << report.errors << " errors), " << report.items_executed
+            << " items executed, " << report.items_reused << " reused\n";
+  if (!metrics_out.empty()) write_metrics_json(daemon.telemetry(), metrics_out);
+  return 0;
+}
+
+/// `campaign query`: ask a daemon for a grid. The same axis flags as a
+/// local run describe what to compute; the table/--csv/--json exports
+/// come from the daemon's aggregation (exact double round-trip), and
+/// --store-out saves the returned columnar bytes verbatim.
+int run_query(const util::Cli& cli) {
+  enforce_flags(cli,
+                {"connect", "group", "csv", "json", "store-out", "progress",
+                 "help"},
+                "query");
+  const campaign::CampaignSpec spec =
+      parse_flags([&cli] { return spec_from_cli(cli); });
+  const campaign::GroupBy group =
+      parse_flags([&cli] { return group_from_cli(cli); });
+  const std::string connect = cli.get("connect", "");
+  if (connect.empty()) {
+    throw UsageError(
+        "campaign query requires --connect HOST:PORT or --connect unix:/path");
+  }
+  const std::string store_out = cli.get("store-out", "");
+
+  serve::Client client = serve::Client::connect(connect);
+  serve::Client::QueryOptions options;
+  options.want_store = !store_out.empty();
+  options.want_rows = true;
+  options.group = group;
+  const bool show_progress = cli.has("progress");
+  bool printed_progress = false;
+  if (show_progress) {
+    options.on_progress = [&printed_progress](const serve::Progress& p) {
+      std::cerr << '\r' << "[campaign] " << p.items_done << "/"
+                << p.items_total << " items          " << std::flush;
+      printed_progress = true;
+    };
+  }
+
+  const serve::Result result = client.query(spec, options);
+  if (printed_progress) std::cerr << '\n';
+  std::cerr << "[campaign] " << serve::to_string(result.status)
+            << " answer from " << connect << ": " << result.items_executed
+            << " of " << result.items_total << " items executed\n";
+  if (!store_out.empty()) {
+    std::ofstream f(store_out, std::ios::binary);
+    f.write(reinterpret_cast<const char*>(result.store_bytes.data()),
+            static_cast<std::streamsize>(result.store_bytes.size()));
+    if (!f) throw std::runtime_error("failed to write " + store_out);
+    std::cerr << "[campaign] wrote raw store " << store_out << " (columnar, "
+              << result.store_bytes.size() << " bytes)\n";
+  }
+  std::istringstream rows_in(result.rows_csv);
+  export_rows(cli, campaign::read_rows_csv(rows_in));
+  return 0;
+}
+
 /// The classic single-process mode (no verb).
 int run_local(const util::Cli& cli) {
   {
@@ -680,8 +818,10 @@ int main(int argc, char** argv) {
     }
     if (verbs[0] == "serve") return run_serve(cli);
     if (verbs[0] == "work") return run_work(cli);
+    if (verbs[0] == "daemon") return run_daemon(cli);
+    if (verbs[0] == "query") return run_query(cli);
     throw UsageError("unknown verb '" + verbs[0] +
-                     "' (verbs: serve, work; see --help)");
+                     "' (verbs: serve, work, daemon, query; see --help)");
   } catch (const UsageError& e) {
     std::cerr << "campaign: " << e.what() << '\n';
     return 2;

@@ -69,6 +69,19 @@ struct CampaignSpec {
   /// Canonical textual identity of the grid; two stores merge only when
   /// their spec fingerprints match.
   [[nodiscard]] std::string fingerprint() const;
+
+  /// fingerprint() minus the records section — the grid's "axes family".
+  /// Records are the outermost expansion axis, so two specs in the same
+  /// family where one's records are a prefix of the other's assign
+  /// identical indices (and therefore identical mix64 item seeds) to the
+  /// common items. That invariant is what lets the query daemon adopt a
+  /// cached store as resume_from for a superset grid and run only the
+  /// gap items.
+  [[nodiscard]] std::string axes_fingerprint() const;
+
+  /// FNV-1a 64-bit hash of fingerprint(), as 16 lowercase hex chars — a
+  /// stable filesystem-safe key for cache-directory store names.
+  [[nodiscard]] std::string fingerprint_hash() const;
 };
 
 /// One schedulable unit: one Monte-Carlo fault map at one (record,

@@ -1,6 +1,7 @@
 #include "ulpdream/campaign/spec.hpp"
 
 #include <cmath>
+#include <cstdio>
 #include <sstream>
 #include <stdexcept>
 
@@ -131,6 +132,32 @@ std::string CampaignSpec::fingerprint() const {
      << "|ber:" << ber_model << "|fs:" << util::fmt_exact(fs_hz)
      << "|dur:" << util::fmt_exact(duration_s);
   return os.str();
+}
+
+std::string CampaignSpec::axes_fingerprint() const {
+  std::ostringstream os;
+  os << "apps:";
+  for (const auto& a : apps) os << ' ' << a;
+  os << "|emts:";
+  for (const auto& e : emts) os << ' ' << e;
+  os << "|voltages:";
+  for (double v : voltages) os << ' ' << util::fmt_exact(v);
+  os << "|reps:" << repetitions << "|seed:" << seed
+     << "|ber:" << ber_model << "|fs:" << util::fmt_exact(fs_hz)
+     << "|dur:" << util::fmt_exact(duration_s);
+  return os.str();
+}
+
+std::string CampaignSpec::fingerprint_hash() const {
+  std::uint64_t h = 1469598103934665603ull;  // FNV-1a 64 offset basis
+  for (const unsigned char c : fingerprint()) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  char text[17];
+  std::snprintf(text, sizeof(text), "%016llx",
+                static_cast<unsigned long long>(h));
+  return text;
 }
 
 std::vector<WorkItem> expand(const CampaignSpec& spec) {

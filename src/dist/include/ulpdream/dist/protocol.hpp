@@ -34,12 +34,11 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <stdexcept>
 #include <string>
-#include <utility>
 #include <vector>
 
 #include "ulpdream/util/socket.hpp"
+#include "ulpdream/util/wire.hpp"
 
 namespace ulpdream::dist {
 
@@ -52,16 +51,9 @@ inline constexpr std::uint32_t kProtocolVersion = 1;
 inline constexpr std::size_t kMaxFrameBytes = std::size_t(256) << 20;
 
 /// Typed payload-decode failure naming the peer (transport failures are
-/// util::FrameError; this layer means the frame arrived but lied).
-class ProtocolError : public std::runtime_error {
- public:
-  ProtocolError(std::string peer, const std::string& what)
-      : std::runtime_error(peer + ": " + what), peer_(std::move(peer)) {}
-  [[nodiscard]] const std::string& peer() const noexcept { return peer_; }
-
- private:
-  std::string peer_;
-};
+/// util::FrameError; this layer means the frame arrived but lied). The
+/// codec itself lives in util/wire.hpp and is shared with serve.
+using ProtocolError = util::WireError;
 
 enum class MsgType : std::uint32_t {
   kHello = 1,

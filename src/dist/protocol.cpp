@@ -1,108 +1,14 @@
 #include "ulpdream/dist/protocol.hpp"
 
-#include <cstring>
-
 #include "ulpdream/util/telemetry.hpp"
+#include "ulpdream/util/wire.hpp"
 
 namespace ulpdream::dist {
 
 namespace {
 
-/// Little-endian payload writer (append-only vector).
-class PayloadWriter {
- public:
-  void put_u8(std::uint8_t v) { bytes_.push_back(v); }
-  void put_u32(std::uint32_t v) { put_pod(v); }
-  void put_u64(std::uint64_t v) { put_pod(v); }
-  void put_string(const std::string& s) {
-    put_u32(static_cast<std::uint32_t>(s.size()));
-    bytes_.insert(bytes_.end(), s.begin(), s.end());
-  }
-  void put_blob(const std::vector<std::uint8_t>& b) {
-    put_u64(b.size());
-    bytes_.insert(bytes_.end(), b.begin(), b.end());
-  }
-
-  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const noexcept {
-    return bytes_;
-  }
-
- private:
-  template <typename T>
-  void put_pod(T v) {
-    const auto* p = reinterpret_cast<const std::uint8_t*>(&v);
-    bytes_.insert(bytes_.end(), p, p + sizeof(T));
-  }
-  std::vector<std::uint8_t> bytes_;
-};
-
-/// Bounds-checked payload reader; every failure names the peer, the
-/// message and the field being decoded.
-class PayloadReader {
- public:
-  PayloadReader(const util::Frame& frame, std::string peer, const char* msg)
-      : bytes_(frame.payload), peer_(std::move(peer)), msg_(msg) {}
-
-  std::uint8_t get_u8(const char* field) { return get_pod<std::uint8_t>(field); }
-  std::uint32_t get_u32(const char* field) {
-    return get_pod<std::uint32_t>(field);
-  }
-  std::uint64_t get_u64(const char* field) {
-    return get_pod<std::uint64_t>(field);
-  }
-  std::string get_string(const char* field) {
-    const std::uint32_t len = get_u32(field);
-    need(len, field);
-    std::string out(reinterpret_cast<const char*>(bytes_.data() + pos_),
-                    len);
-    pos_ += len;
-    return out;
-  }
-  std::vector<std::uint8_t> get_blob(const char* field) {
-    const std::uint64_t len = get_u64(field);
-    need(len, field);
-    std::vector<std::uint8_t> out(bytes_.begin() + static_cast<long>(pos_),
-                                  bytes_.begin() +
-                                      static_cast<long>(pos_ + len));
-    pos_ += static_cast<std::size_t>(len);
-    return out;
-  }
-
-  /// Rejects trailing bytes — a payload longer than the message is as
-  /// malformed as a short one (it will desynchronize nothing, but it
-  /// means the peer and we disagree about the message shape).
-  void finish() const {
-    if (pos_ != bytes_.size()) {
-      throw ProtocolError(peer_, std::string("malformed ") + msg_ + ": " +
-                                     std::to_string(bytes_.size() - pos_) +
-                                     " trailing bytes after the last field");
-    }
-  }
-
- private:
-  void need(std::uint64_t len, const char* field) const {
-    if (len > bytes_.size() - pos_) {
-      throw ProtocolError(peer_, std::string("malformed ") + msg_ +
-                                     ": truncated field '" + field + "' (" +
-                                     std::to_string(len) + " bytes claimed, " +
-                                     std::to_string(bytes_.size() - pos_) +
-                                     " available)");
-    }
-  }
-  template <typename T>
-  T get_pod(const char* field) {
-    need(sizeof(T), field);
-    T v;
-    std::memcpy(&v, bytes_.data() + pos_, sizeof(T));
-    pos_ += sizeof(T);
-    return v;
-  }
-
-  const std::vector<std::uint8_t>& bytes_;
-  std::size_t pos_ = 0;
-  std::string peer_;
-  const char* msg_;
-};
+using util::PayloadReader;
+using util::PayloadWriter;
 
 void send_frame(util::Socket& socket, MsgType type,
                 const PayloadWriter& payload) {
@@ -124,7 +30,7 @@ PayloadReader open(const util::Frame& frame, const std::string& peer,
                   to_string(static_cast<MsgType>(frame.type)) + " (type " +
                   std::to_string(frame.type) + ")");
   }
-  return PayloadReader(frame, peer, to_string(type));
+  return PayloadReader(frame.payload, peer, to_string(type));
 }
 
 }  // namespace

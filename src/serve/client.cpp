@@ -1,0 +1,50 @@
+#include "ulpdream/serve/client.hpp"
+
+#include <utility>
+
+namespace ulpdream::serve {
+
+Client::Client(util::Socket socket, std::string endpoint)
+    : socket_(std::move(socket)), endpoint_(std::move(endpoint)) {}
+
+Client Client::connect(const std::string& endpoint) {
+  return Client(util::Socket::connect(endpoint), endpoint);
+}
+
+Result Client::query(const campaign::CampaignSpec& spec,
+                     const QueryOptions& options) {
+  Query q;
+  q.spec = spec;
+  q.want_store = options.want_store;
+  q.want_rows = options.want_rows;
+  q.group = options.group;
+  send(socket_, q);
+
+  util::Frame frame;
+  for (;;) {
+    if (!receive(socket_, frame)) {
+      throw util::FrameError(util::FrameError::Kind::kTruncated, endpoint_,
+                             "daemon closed the connection before "
+                             "answering the query");
+    }
+    switch (static_cast<MsgType>(frame.type)) {
+      case MsgType::kProgress: {
+        const Progress progress = decode_progress(frame, endpoint_);
+        if (options.on_progress) options.on_progress(progress);
+        break;
+      }
+      case MsgType::kError:
+        throw QueryError(decode_error(frame, endpoint_).message);
+      case MsgType::kResult:
+        return decode_result(frame, endpoint_);
+      default:
+        throw ProtocolError(
+            endpoint_, std::string("unexpected ") +
+                           to_string(static_cast<MsgType>(frame.type)) +
+                           " frame (type " + std::to_string(frame.type) +
+                           ") while awaiting a Result");
+    }
+  }
+}
+
+}  // namespace ulpdream::serve

@@ -1,0 +1,63 @@
+#pragma once
+// Client side of the query daemon — the library class behind the
+// `campaign query` CLI verb and the seam the future pybind11 bindings
+// call into. One Client is one connection; query() blocks until the
+// daemon answers, invoking on_progress for each streamed Progress frame,
+// and the connection stays open for further queries (which is how the
+// warm-latency benchmark measures hits without reconnect overhead).
+
+#include <functional>
+#include <stdexcept>
+#include <string>
+
+#include "ulpdream/campaign/spec.hpp"
+#include "ulpdream/serve/protocol.hpp"
+#include "ulpdream/util/socket.hpp"
+
+namespace ulpdream::serve {
+
+/// The daemon answered a query with an Error frame (unknown axis name,
+/// version mismatch, server-side store failure). The connection is still
+/// usable — fix the spec and retry.
+class QueryError : public std::runtime_error {
+ public:
+  explicit QueryError(const std::string& what) : std::runtime_error(what) {}
+};
+
+class Client {
+ public:
+  struct QueryOptions {
+    bool want_store = true;
+    bool want_rows = false;
+    campaign::GroupBy group{};
+    /// Invoked on this thread for each Progress frame (an exact cache
+    /// hit streams none).
+    std::function<void(const Progress&)> on_progress;
+  };
+
+  /// Connects to the daemon at "host:port" or "unix:/path". Throws
+  /// util::SocketError on connection failure.
+  [[nodiscard]] static Client connect(const std::string& endpoint);
+
+  /// Sends one query and blocks until the Result. Throws QueryError on a
+  /// daemon-reported Error frame (connection stays usable), and
+  /// util::SocketError / util::FrameError / ProtocolError when the
+  /// daemon died or sent garbage.
+  [[nodiscard]] Result query(const campaign::CampaignSpec& spec,
+                             const QueryOptions& options);
+  [[nodiscard]] Result query(const campaign::CampaignSpec& spec) {
+    return query(spec, QueryOptions{});
+  }
+
+  [[nodiscard]] const std::string& endpoint() const noexcept {
+    return endpoint_;
+  }
+
+ private:
+  Client(util::Socket socket, std::string endpoint);
+
+  util::Socket socket_;
+  std::string endpoint_;
+};
+
+}  // namespace ulpdream::serve

@@ -147,6 +147,7 @@ class Listener {
   [[nodiscard]] Socket accept();
 
   [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+  [[nodiscard]] int fd() const noexcept { return fd_; }
   /// The resolved local endpoint ("127.0.0.1:45123" or "unix:/path").
   [[nodiscard]] const std::string& endpoint() const noexcept {
     return endpoint_;

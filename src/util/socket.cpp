@@ -7,6 +7,7 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <signal.h>
 #include <sys/socket.h>
 #include <sys/un.h>
@@ -25,7 +26,48 @@ std::string errno_text() { return std::strerror(errno); }
 /// MSG_NOSIGNAL everywhere a write could hit a dead peer: peer death
 /// must surface as EPIPE -> SocketError, never as a process-killing
 /// SIGPIPE from inside a worker thread.
+#if defined(MSG_NOSIGNAL)
 constexpr int kSendFlags = MSG_NOSIGNAL;
+#else
+constexpr int kSendFlags = 0;
+#endif
+
+/// Platforms without MSG_NOSIGNAL (macOS) get the same guarantee
+/// per-socket via SO_NOSIGPIPE; elsewhere this is a no-op.
+void suppress_sigpipe(int fd) {
+#if defined(SO_NOSIGPIPE)
+  const int one = 1;
+  (void)::setsockopt(fd, SOL_SOCKET, SO_NOSIGPIPE, &one, sizeof(one));
+#else
+  (void)fd;
+#endif
+}
+
+/// Completes a connect() that a signal interrupted. POSIX leaves the
+/// attempt in progress after EINTR — calling connect() again yields
+/// EALREADY (or a spurious EADDRINUSE), NOT a clean retry — so the
+/// correct resumption is to wait for writability and read the final
+/// status out of SO_ERROR.
+int finish_connect(int fd) {
+  for (;;) {
+    pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = POLLOUT;
+    const int rc = ::poll(&pfd, 1, -1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return -1;
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0) return -1;
+    if (err != 0) {
+      errno = err;
+      return -1;
+    }
+    return 0;
+  }
+}
 
 struct ParsedEndpoint {
   bool is_unix = false;
@@ -99,19 +141,18 @@ Socket Socket::connect(const std::string& endpoint) {
   const int fd = ::socket(ep.is_unix ? AF_UNIX : AF_INET, SOCK_STREAM, 0);
   if (fd < 0) throw SocketError(endpoint, "socket: " + errno_text());
   Socket out(fd, endpoint);
+  suppress_sigpipe(fd);
   int rc;
   if (ep.is_unix) {
     const sockaddr_un addr = unix_address(ep);
-    do {
-      rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
-                     sizeof(addr));
-    } while (rc < 0 && errno == EINTR);
+    rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof(addr));
+    if (rc < 0 && errno == EINTR) rc = finish_connect(fd);
   } else {
     const sockaddr_in addr = tcp_address(ep, endpoint);
-    do {
-      rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
-                     sizeof(addr));
-    } while (rc < 0 && errno == EINTR);
+    rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof(addr));
+    if (rc < 0 && errno == EINTR) rc = finish_connect(fd);
     if (rc == 0) {
       const int one = 1;
       // Frames are small request/response turns; never batch them.
@@ -127,6 +168,8 @@ std::pair<Socket, Socket> Socket::socketpair(const std::string& label) {
   if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
     throw SocketError(label, "socketpair: " + errno_text());
   }
+  suppress_sigpipe(fds[0]);
+  suppress_sigpipe(fds[1]);
   return {Socket(fds[0], label + "[a]"), Socket(fds[1], label + "[b]")};
 }
 
@@ -250,6 +293,7 @@ Socket Listener::accept() {
       if (errno == EINTR) continue;
       throw SocketError(endpoint_, "accept: " + errno_text());
     }
+    suppress_sigpipe(fd);
     std::string peer;
     if (addr.ss_family == AF_INET) {
       peer = describe_sockaddr(*reinterpret_cast<const sockaddr_in*>(&addr));

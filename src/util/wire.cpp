@@ -1,0 +1,23 @@
+#include "ulpdream/util/wire.hpp"
+
+namespace ulpdream::util {
+
+void PayloadReader::need(std::uint64_t len, const char* field) const {
+  if (len > bytes_.size() - pos_) {
+    throw WireError(peer_, std::string("malformed ") + msg_ +
+                               ": truncated field '" + field + "' (" +
+                               std::to_string(len) + " bytes claimed, " +
+                               std::to_string(bytes_.size() - pos_) +
+                               " available)");
+  }
+}
+
+void PayloadReader::finish() const {
+  if (pos_ != bytes_.size()) {
+    throw WireError(peer_, std::string("malformed ") + msg_ + ": " +
+                               std::to_string(bytes_.size() - pos_) +
+                               " trailing bytes after the last field");
+  }
+}
+
+}  // namespace ulpdream::util

@@ -44,11 +44,16 @@ expect 2 '--progress' serve --progress=1 --listen=unix:/tmp/nowhere.sock \
     --spool-dir=/tmp --store-out=/tmp/x.ulpdcol
 expect 2 'step' --step=0 --max-items=1
 expect 2 '--checkpoint-every' --checkpoint-every=4 --max-items=1
+expect 2 '--listen' daemon
+expect 2 '--cache-dir' daemon --listen=unix:/tmp/nowhere.sock
+expect 2 '--connect' query
+expect 2 '--shard' query --connect=unix:/tmp/nowhere.sock --shard=0/2
 
 # Runtime failures (exit 1): a well-formed invocation against a broken
 # world.
 expect 1 - --resume=/nonexistent/resume.bin --max-items=1
 expect 1 - work --connect=unix:/nonexistent/coordinator.sock
+expect 1 - query --connect=unix:/nonexistent/daemon.sock
 
 if [ "$fails" -ne 0 ]; then
     echo "$fails CLI smoke check(s) failed" >&2

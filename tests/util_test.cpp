@@ -1,14 +1,23 @@
 #include <gtest/gtest.h>
+#include <pthread.h>
+#include <signal.h>
 #include <sys/resource.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
 
 #include <atomic>
 #include <chrono>
 #include <cmath>
+#include <cstring>
+#include <filesystem>
 #include <limits>
 #include <sstream>
 #include <thread>
+#include <vector>
 
 #include "ulpdream/util/cli.hpp"
+#include "ulpdream/util/socket.hpp"
 #include "ulpdream/util/parallel.hpp"
 #include "ulpdream/util/rng.hpp"
 #include "ulpdream/util/stats.hpp"
@@ -463,6 +472,129 @@ TEST(WorkPool, ParallelForIndexWrapperMatchesInlineExecution) {
                            };
                          }),
       std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// Socket robustness — the daemon-lifetime guarantees: a dying peer is an
+// exception rather than a SIGPIPE death, EINTR never surfaces from
+// blocking calls, and a stale Unix socket file never blocks a restart.
+
+TEST(Socket, WriteToDeadPeerThrowsSocketErrorInsteadOfSigpipeDeath) {
+  auto [a, b] = Socket::socketpair();
+  b.close();
+  // The first writes may land in the kernel buffer; keep pushing until
+  // the EPIPE surfaces. Without SIGPIPE suppression this test does not
+  // fail — the whole process dies.
+  const std::vector<std::uint8_t> chunk(std::size_t(64) << 10, 0xab);
+  EXPECT_THROW(
+      {
+        for (int i = 0; i < 256; ++i) a.write_all(chunk.data(), chunk.size());
+      },
+      SocketError);
+}
+
+TEST(Listener, BindsOverAStaleUnixSocketFile) {
+  namespace fs = std::filesystem;
+  const std::string path =
+      (fs::temp_directory_path() / "ulpd_util_stale.sock").string();
+  fs::remove(path);
+  // Fabricate the crash leftover: a bound socket whose owner is gone —
+  // the file stays behind and a naive bind() would fail EADDRINUSE.
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  ASSERT_EQ(::bind(fd, reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof(addr)),
+            0);
+  ::close(fd);
+  ASSERT_TRUE(fs::exists(path));
+
+  Listener listener = Listener::open("unix:" + path);
+  EXPECT_EQ(listener.endpoint(), "unix:" + path);
+  auto connected = Socket::connect("unix:" + path);
+  Socket accepted = listener.accept();
+  const char byte = 'x';
+  connected.write_all(&byte, 1);
+  char got = 0;
+  EXPECT_TRUE(accepted.read_all_or_eof(&got, 1));
+  EXPECT_EQ(got, 'x');
+  listener.close();
+  EXPECT_FALSE(fs::exists(path)) << "close() must remove the socket file";
+}
+
+namespace {
+
+/// Installs a no-op SIGUSR1 handler *without* SA_RESTART, so a blocking
+/// syscall in the target thread really returns EINTR — the raw material
+/// of the retry tests below.
+class InterruptingHandler {
+ public:
+  InterruptingHandler() {
+    struct sigaction action {};
+    action.sa_handler = [](int) {};
+    action.sa_flags = 0;  // deliberately not SA_RESTART
+    sigemptyset(&action.sa_mask);
+    sigaction(SIGUSR1, &action, &previous_);
+  }
+  ~InterruptingHandler() { sigaction(SIGUSR1, &previous_, nullptr); }
+
+  /// Pelts `thread` with signals until `done` flips (the blocked call
+  /// has to survive at least one EINTR) or a bounded patience runs out.
+  void pelt(std::thread& thread, const std::atomic<bool>& done) const {
+    for (int i = 0; i < 200 && !done.load(); ++i) {
+      pthread_kill(thread.native_handle(), SIGUSR1);
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+
+ private:
+  struct sigaction previous_ {};
+};
+
+}  // namespace
+
+TEST(Socket, BlockingReadSurvivesEintr) {
+  InterruptingHandler handler;
+  auto [a, b] = Socket::socketpair();
+  std::atomic<bool> done{false};
+  char got = 0;
+  bool ok = false;
+  std::thread reader([&] {
+    ok = b.read_all_or_eof(&got, 1);
+    done.store(true);
+  });
+  // Interrupt the blocked read a few times, then satisfy it.
+  for (int i = 0; i < 20; ++i) {
+    pthread_kill(reader.native_handle(), SIGUSR1);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const char byte = 'y';
+  a.write_all(&byte, 1);
+  handler.pelt(reader, done);
+  reader.join();
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(got, 'y');
+}
+
+TEST(Listener, BlockingAcceptSurvivesEintr) {
+  InterruptingHandler handler;
+  Listener listener = Listener::open("127.0.0.1:0");
+  std::atomic<bool> done{false};
+  Socket accepted;
+  std::thread acceptor([&] {
+    accepted = listener.accept();
+    done.store(true);
+  });
+  for (int i = 0; i < 20; ++i) {
+    pthread_kill(acceptor.native_handle(), SIGUSR1);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  auto client = Socket::connect(listener.endpoint());
+  handler.pelt(acceptor, done);
+  acceptor.join();
+  EXPECT_TRUE(accepted.valid());
 }
 
 }  // namespace
